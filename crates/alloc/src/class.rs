@@ -1,0 +1,64 @@
+//! Power-of-two size-class arithmetic shared by both allocators.
+
+/// Number of size classes; pool *i* holds chunks of 2^*i* units, exactly
+/// as in the paper ("32 global pools of memory chunks ... of sizes 2^i").
+pub const CLASS_COUNT: usize = 32;
+
+/// The size class for a request of `size` units: the smallest `i` with
+/// `2^i >= size`. A request of 0 maps to class 0 (a 1-unit chunk), which
+/// keeps the free path uniform.
+#[inline]
+pub fn class_of(size: usize) -> usize {
+    debug_assert!(
+        size <= (1usize << (CLASS_COUNT - 1)),
+        "request of {size} units exceeds the largest size class"
+    );
+    let size = size.max(1);
+    (usize::BITS - (size - 1).leading_zeros()) as usize * usize::from(size > 1)
+}
+
+/// The chunk size (in units) of class `i`.
+#[inline]
+pub fn size_of_class(class: usize) -> usize {
+    debug_assert!(class < CLASS_COUNT);
+    1usize << class
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_round_up_to_powers_of_two() {
+        assert_eq!(class_of(0), 0);
+        assert_eq!(class_of(1), 0);
+        assert_eq!(class_of(2), 1);
+        assert_eq!(class_of(3), 2);
+        assert_eq!(class_of(4), 2);
+        assert_eq!(class_of(5), 3);
+        assert_eq!(class_of(1024), 10);
+        assert_eq!(class_of(1025), 11);
+    }
+
+    #[test]
+    fn class_size_is_sufficient_and_tight() {
+        for size in 1..10_000usize {
+            let c = class_of(size);
+            assert!(size_of_class(c) >= size, "class too small for {size}");
+            if c > 0 {
+                assert!(
+                    size_of_class(c - 1) < size,
+                    "class not tight for {size}: got {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_overhead_is_under_2x() {
+        for size in 1..4096usize {
+            let granted = size_of_class(class_of(size));
+            assert!(granted < 2 * size, "overhead >= 2x for {size}");
+        }
+    }
+}

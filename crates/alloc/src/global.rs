@@ -1,0 +1,263 @@
+//! A drop-in `GlobalAlloc` with the paper's pool structure.
+//!
+//! [`PooledAlloc`] rounds every request up to a power of two, serves it
+//! from one of 32 per-class free lists, and never returns memory to the
+//! system (§VII-C). The free lists are *intrusive*: a freed chunk's first
+//! word stores the next-chunk pointer, so the allocator needs no heap of
+//! its own — the property that lets it implement
+//! [`std::alloc::GlobalAlloc`] without recursing into itself. Each class
+//! is guarded by a spin lock held only for two pointer writes; the paper
+//! used boost lock-free queues instead, which is noted as a substitution
+//! in DESIGN.md (a node-based lock-free queue cannot be used *inside* a
+//! global allocator because pushing a node allocates).
+
+use crate::class::{class_of, size_of_class, CLASS_COUNT};
+use crate::stats::PoolStats;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+/// Minimum alignment served. The image allocator in the paper guarantees
+/// SIMD-friendly alignment; 64 bytes covers AVX-512 and cache lines.
+pub const MIN_ALIGN: usize = 64;
+
+struct ClassList {
+    head: AtomicPtr<u8>,
+    lock: AtomicBool,
+}
+
+impl ClassList {
+    const fn new() -> Self {
+        ClassList {
+            head: AtomicPtr::new(ptr::null_mut()),
+            lock: AtomicBool::new(false),
+        }
+    }
+
+    #[inline]
+    fn with_lock<R>(&self, f: impl FnOnce() -> R) -> R {
+        while self
+            .lock
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        let r = f();
+        self.lock.store(false, Ordering::Release);
+        r
+    }
+}
+
+/// Pool-backed global allocator; see the module docs.
+///
+/// ```
+/// use znn_alloc::PooledAlloc;
+/// use std::alloc::{GlobalAlloc, Layout};
+///
+/// let alloc = PooledAlloc::new();
+/// let layout = Layout::from_size_align(100, 8).unwrap();
+/// // SAFETY: layout is non-zero-sized and the pointer is freed with the
+/// // same layout below.
+/// unsafe {
+///     let p = alloc.alloc(layout);
+///     assert!(!p.is_null());
+///     alloc.dealloc(p, layout);
+///     let q = alloc.alloc(layout); // recycled, no system call
+///     assert_eq!(p, q);
+///     alloc.dealloc(q, layout);
+/// }
+/// ```
+pub struct PooledAlloc {
+    classes: [ClassList; CLASS_COUNT],
+    stats: PoolStats,
+}
+
+impl PooledAlloc {
+    /// A fresh allocator with empty pools.
+    pub const fn new() -> Self {
+        const EMPTY: ClassList = ClassList::new();
+        PooledAlloc {
+            classes: [EMPTY; CLASS_COUNT],
+            stats: PoolStats::new(),
+        }
+    }
+
+    /// Allocation counters.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn chunk_class(layout: Layout) -> (usize, Layout) {
+        // Round the request up so the chunk can satisfy both the size and
+        // the alignment; serve everything at MIN_ALIGN so a chunk can be
+        // recycled across callers with smaller alignment needs.
+        let size = layout.size().max(layout.align()).max(MIN_ALIGN);
+        let class = class_of(size);
+        // SAFETY (validity): size_of_class(class) is a power of two >=
+        // MIN_ALIGN and MIN_ALIGN is a valid alignment.
+        let chunk = Layout::from_size_align(size_of_class(class), MIN_ALIGN)
+            .expect("power-of-two chunk layout is always valid");
+        (class, chunk)
+    }
+}
+
+impl Default for PooledAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: alloc returns either a recycled chunk that was handed out for
+// the same size class (so it is at least as large and aligned as the
+// request after the rounding in `chunk_class`) or a fresh System
+// allocation of the chunk layout. dealloc never frees — it parks the
+// chunk on the class free list, storing the next pointer in the chunk
+// body, which is sound because the chunk is unused and at least
+// pointer-sized (MIN_ALIGN >= 8). All list manipulation happens under the
+// per-class spin lock.
+unsafe impl GlobalAlloc for PooledAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let (class, chunk) = Self::chunk_class(layout);
+        let list = &self.classes[class];
+        let recycled = list.with_lock(|| {
+            let head = list.head.load(Ordering::Relaxed);
+            if head.is_null() {
+                ptr::null_mut()
+            } else {
+                // SAFETY: head points at a parked chunk whose first word
+                // is the next pointer we wrote in dealloc.
+                let next = unsafe { *(head as *mut *mut u8) };
+                list.head.store(next, Ordering::Relaxed);
+                head
+            }
+        });
+        if !recycled.is_null() {
+            self.stats.record_hit(chunk.size());
+            return recycled;
+        }
+        self.stats.record_miss(chunk.size());
+        // SAFETY: chunk has non-zero size.
+        unsafe { System.alloc(chunk) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        let (class, chunk) = Self::chunk_class(layout);
+        self.stats.record_free(chunk.size());
+        let list = &self.classes[class];
+        list.with_lock(|| {
+            let head = list.head.load(Ordering::Relaxed);
+            // SAFETY: the chunk is at least MIN_ALIGN bytes, unused by the
+            // caller after dealloc, and aligned for a pointer store.
+            unsafe { *(ptr as *mut *mut u8) = head };
+            list.head.store(ptr, Ordering::Relaxed);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(size: usize) -> Layout {
+        Layout::from_size_align(size, 8).unwrap()
+    }
+
+    #[test]
+    fn allocates_and_recycles_same_chunk() {
+        let a = PooledAlloc::new();
+        unsafe {
+            let p = a.alloc(layout(100));
+            assert!(!p.is_null());
+            assert_eq!(p as usize % MIN_ALIGN, 0, "not SIMD aligned");
+            a.dealloc(p, layout(100));
+            let q = a.alloc(layout(90)); // same class (128)
+            assert_eq!(p, q, "chunk was not recycled");
+            a.dealloc(q, layout(90));
+        }
+        assert_eq!(a.stats().misses(), 1);
+        assert_eq!(a.stats().hits(), 1);
+    }
+
+    #[test]
+    fn different_classes_get_different_chunks() {
+        let a = PooledAlloc::new();
+        unsafe {
+            let p = a.alloc(layout(100));
+            a.dealloc(p, layout(100));
+            let q = a.alloc(layout(5000));
+            assert_ne!(p, q);
+            a.dealloc(q, layout(5000));
+        }
+        assert_eq!(a.stats().misses(), 2);
+    }
+
+    #[test]
+    fn footprint_is_flat_in_steady_state() {
+        let a = PooledAlloc::new();
+        let mut footprint = vec![];
+        for _ in 0..4 {
+            unsafe {
+                let ptrs: Vec<_> = (6..14).map(|i| (a.alloc(layout(1 << i)), 1 << i)).collect();
+                for (p, s) in ptrs {
+                    a.dealloc(p, layout(s));
+                }
+            }
+            footprint.push(a.stats().bytes_from_system());
+        }
+        assert_eq!(footprint[0], footprint[3]);
+    }
+
+    #[test]
+    fn lifo_reuse_order() {
+        let a = PooledAlloc::new();
+        unsafe {
+            let p1 = a.alloc(layout(64));
+            let p2 = a.alloc(layout(64));
+            a.dealloc(p1, layout(64));
+            a.dealloc(p2, layout(64));
+            // LIFO: last freed comes back first (cache-warm reuse)
+            assert_eq!(a.alloc(layout(64)), p2);
+            assert_eq!(a.alloc(layout(64)), p1);
+            a.dealloc(p1, layout(64));
+            a.dealloc(p2, layout(64));
+        }
+    }
+
+    #[test]
+    fn concurrent_stress_preserves_chunk_disjointness() {
+        use std::collections::HashSet;
+        use std::sync::Arc;
+        let a = Arc::new(PooledAlloc::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    let mut live: Vec<(*mut u8, usize)> = vec![];
+                    let mut seen = HashSet::new();
+                    for i in 0..500usize {
+                        let size = 64 + (i % 5) * 64;
+                        unsafe {
+                            let p = a.alloc(layout(size));
+                            // no two *live* chunks may alias in this thread
+                            assert!(seen.insert(p as usize) || !live.iter().any(|l| l.0 == p));
+                            live.push((p, size));
+                            if live.len() > 8 {
+                                let (q, s) = live.remove(0);
+                                a.dealloc(q, layout(s));
+                            }
+                        }
+                    }
+                    for (p, s) in live {
+                        unsafe { a.dealloc(p, layout(s)) };
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.stats().bytes_in_use(), 0);
+    }
+}

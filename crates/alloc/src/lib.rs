@@ -1,0 +1,43 @@
+//! Pooled power-of-two memory allocators (ZNN paper §VII-C).
+//!
+//! ZNN avoids the cost of general-purpose `malloc` on its hot path with
+//! two custom allocators — one for large 3D images, one for the small
+//! objects of auxiliary data structures. Each keeps **32 global pools of
+//! memory chunks**, pool *i* holding chunks of exactly 2^*i* bytes,
+//! backed by non-blocking queues. Requests round up to the next power of
+//! two; frees push the chunk back onto its pool; **memory is never
+//! returned to the operating system**, so the process footprint peaks
+//! after a few training rounds and stays flat (at a worst-case ≈2×
+//! overhead).
+//!
+//! This crate reproduces that design twice, at two levels:
+//!
+//! * [`ImagePool`] / [`BufferPool`] — typed, lock-free (crossbeam
+//!   [`SegQueue`](crossbeam_queue::SegQueue)) recycling pools for the
+//!   `f32`/complex buffers that back tensors. This is what the training
+//!   engine uses.
+//! * [`PooledAlloc`] — a real [`std::alloc::GlobalAlloc`] with the
+//!   paper's exact pool structure, usable as `#[global_allocator]`. Its
+//!   free lists are *intrusive* (the freed chunk stores the next
+//!   pointer), so the allocator never allocates on its own behalf; each
+//!   size class is guarded by a spin lock rather than the paper's
+//!   lock-free queue because a lock-free queue would itself need to
+//!   allocate nodes. The observable behaviour — O(1) recycle,
+//!   power-of-2 classes, never shrinking — is identical.
+//!
+//! Both report [`PoolStats`] so the §IX-B memory experiments can account
+//! for working-set size.
+
+#![warn(missing_docs)]
+
+mod class;
+mod global;
+mod local;
+mod pool;
+mod stats;
+
+pub use class::{class_of, size_of_class, CLASS_COUNT};
+pub use global::PooledAlloc;
+pub use local::LocalCache;
+pub use pool::{BufferPool, ImagePool};
+pub use stats::PoolStats;

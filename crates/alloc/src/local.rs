@@ -1,0 +1,160 @@
+//! Thread-local pool caches — the §VII-C "future work" extension
+//! ("allocators with thread-local pools in addition to the global
+//! pool").
+//!
+//! A [`LocalCache`] is owned by one worker thread and fronts the shared
+//! [`ImagePool`]: gets try the local stash first (no synchronization at
+//! all), puts go local until a per-class cap, overflowing to the global
+//! pool. Buffers recycled by the same worker stay cache-warm.
+
+use crate::class::{class_of, CLASS_COUNT};
+use crate::pool::ImagePool;
+use std::sync::Arc;
+use znn_tensor::{Tensor3, Vec3};
+
+/// A per-thread front for a shared [`ImagePool`].
+pub struct LocalCache {
+    shared: Arc<ImagePool>,
+    stash: Vec<Vec<Vec<f32>>>,
+    cap_per_class: usize,
+    local_hits: usize,
+    shared_trips: usize,
+}
+
+impl LocalCache {
+    /// A cache holding up to `cap_per_class` parked buffers per size
+    /// class before spilling to `shared`.
+    pub fn new(shared: Arc<ImagePool>, cap_per_class: usize) -> Self {
+        LocalCache {
+            shared,
+            stash: (0..CLASS_COUNT).map(|_| Vec::new()).collect(),
+            cap_per_class,
+            local_hits: 0,
+            shared_trips: 0,
+        }
+    }
+
+    /// A zero-filled image, preferring thread-local storage.
+    pub fn get(&mut self, shape: impl Into<Vec3>) -> Tensor3<f32> {
+        let shape = shape.into();
+        let class = class_of(shape.len());
+        if let Some(mut buf) = self.stash[class].pop() {
+            self.local_hits += 1;
+            buf.clear();
+            buf.resize(shape.len(), 0.0);
+            return Tensor3::from_vec(shape, buf);
+        }
+        self.shared_trips += 1;
+        self.shared.get(shape)
+    }
+
+    /// Recycles an image locally, spilling to the shared pool when the
+    /// class stash is full.
+    pub fn put(&mut self, image: Tensor3<f32>) {
+        let buf = image.into_vec();
+        if buf.capacity() == 0 {
+            return;
+        }
+        let class = (usize::BITS - 1 - buf.capacity().leading_zeros()) as usize;
+        let class = class.min(CLASS_COUNT - 1);
+        if self.stash[class].len() < self.cap_per_class {
+            self.stash[class].push(buf);
+        } else {
+            self.shared.put(Tensor3::from_vec(Vec3::new(1, 1, buf.len()), buf));
+        }
+    }
+
+    /// Gets served without touching the shared pool.
+    pub fn local_hits(&self) -> usize {
+        self.local_hits
+    }
+
+    /// Gets that had to visit the shared pool.
+    pub fn shared_trips(&self) -> usize {
+        self.shared_trips
+    }
+
+    /// Returns every stashed buffer to the shared pool (called when a
+    /// worker retires).
+    pub fn drain(&mut self) {
+        for class in &mut self.stash {
+            for buf in class.drain(..) {
+                let len = buf.len().max(1);
+                let mut buf = buf;
+                buf.resize(len, 0.0);
+                self.shared.put(Tensor3::from_vec(Vec3::new(1, 1, len), buf));
+            }
+        }
+    }
+}
+
+impl Drop for LocalCache {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_round_trip_avoids_the_shared_pool() {
+        let shared = Arc::new(ImagePool::new());
+        let mut local = LocalCache::new(Arc::clone(&shared), 4);
+        let img = local.get(Vec3::cube(4)); // miss -> shared
+        local.put(img);
+        for _ in 0..5 {
+            let img = local.get(Vec3::cube(4));
+            local.put(img);
+        }
+        assert_eq!(local.shared_trips(), 1);
+        assert_eq!(local.local_hits(), 5);
+        // the shared pool saw only the very first miss
+        assert_eq!(shared.stats().misses(), 1);
+    }
+
+    #[test]
+    fn overflow_spills_to_shared() {
+        let shared = Arc::new(ImagePool::new());
+        let mut local = LocalCache::new(Arc::clone(&shared), 1);
+        let a = local.get(Vec3::cube(4));
+        let b = local.get(Vec3::cube(4));
+        local.put(a); // fills the class stash
+        local.put(b); // spills
+        // one buffer still parked locally, one returned to the pool
+        assert_eq!(shared.stats().bytes_in_use(), 256);
+        // shared pool now holds the spilled buffer for other threads
+        let hits_before = shared.stats().hits();
+        let _ = shared.get(Vec3::cube(4));
+        assert_eq!(shared.stats().hits(), hits_before + 1);
+    }
+
+    #[test]
+    fn drain_returns_everything_on_drop() {
+        let shared = Arc::new(ImagePool::new());
+        {
+            let mut local = LocalCache::new(Arc::clone(&shared), 8);
+            for _ in 0..3 {
+                let img = local.get(Vec3::cube(2));
+                local.put(img);
+            }
+            let img = local.get(Vec3::cube(2));
+            local.put(img);
+        } // drop drains
+        let hits_before = shared.stats().hits();
+        let _ = shared.get(Vec3::cube(2));
+        assert!(shared.stats().hits() > hits_before, "stash was not drained");
+    }
+
+    #[test]
+    fn zeroing_is_preserved_through_local_recycling() {
+        let shared = Arc::new(ImagePool::new());
+        let mut local = LocalCache::new(shared, 2);
+        let mut img = local.get(Vec3::cube(3));
+        img.as_mut_slice().fill(9.0);
+        local.put(img);
+        let img2 = local.get(Vec3::cube(3));
+        assert!(img2.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

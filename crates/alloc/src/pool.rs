@@ -1,0 +1,201 @@
+//! Typed lock-free recycling pools for tensor buffers.
+//!
+//! This is the form of the paper's image allocator the training engine
+//! actually uses: a [`BufferPool<T>`] keeps 32 power-of-two *capacity*
+//! classes of `Vec<T>` buffers in crossbeam [`SegQueue`]s (the same
+//! Michael–Scott non-blocking queue family the paper cites). Getting a
+//! buffer pops from the class queue or allocates; returning a buffer
+//! pushes it back. Nothing is ever freed, so steady-state training does
+//! no allocation at all.
+
+use crate::class::{class_of, size_of_class, CLASS_COUNT};
+use crate::stats::PoolStats;
+use crossbeam_queue::SegQueue;
+use znn_tensor::{Tensor3, Vec3};
+
+/// A lock-free pool of `Vec<T>` buffers in power-of-two capacity classes.
+pub struct BufferPool<T> {
+    classes: Vec<SegQueue<Vec<T>>>,
+    stats: PoolStats,
+}
+
+impl<T: Copy + Default> BufferPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufferPool {
+            classes: (0..CLASS_COUNT).map(|_| SegQueue::new()).collect(),
+            stats: PoolStats::new(),
+        }
+    }
+
+    /// Fetches a zero-filled buffer of exactly `len` elements whose
+    /// capacity is `len` rounded up to a power of two.
+    pub fn get(&self, len: usize) -> Vec<T> {
+        let class = class_of(len);
+        let bytes = size_of_class(class) * std::mem::size_of::<T>();
+        match self.classes[class].pop() {
+            Some(mut buf) => {
+                self.stats.record_hit(bytes);
+                buf.clear();
+                buf.resize(len, T::default());
+                buf
+            }
+            None => {
+                self.stats.record_miss(bytes);
+                let mut buf = Vec::with_capacity(size_of_class(class));
+                buf.resize(len, T::default());
+                buf
+            }
+        }
+    }
+
+    /// Returns a buffer to its class pool. Buffers whose capacity is not
+    /// a power of two (i.e. not born from this pool) are classed by the
+    /// largest power of two they can hold, so nothing is wasted.
+    pub fn put(&self, buf: Vec<T>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        // Class the buffer by guaranteed capacity: the largest class c
+        // with size_of_class(c) <= capacity.
+        let class = (usize::BITS - 1 - buf.capacity().leading_zeros()) as usize;
+        let class = class.min(CLASS_COUNT - 1);
+        self.stats
+            .record_free(size_of_class(class) * std::mem::size_of::<T>());
+        self.classes[class].push(buf);
+    }
+
+    /// Number of buffers currently parked in class `i`.
+    pub fn parked_in_class(&self, class: usize) -> usize {
+        self.classes[class].len()
+    }
+
+    /// Allocation counters.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+}
+
+impl<T: Copy + Default> Default for BufferPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The paper's "3D image" allocator: a [`BufferPool<f32>`] that speaks
+/// tensors. `get` yields a zeroed image of the requested shape; `put`
+/// recycles the image's backing buffer.
+pub struct ImagePool {
+    inner: BufferPool<f32>,
+}
+
+impl ImagePool {
+    /// An empty image pool.
+    pub fn new() -> Self {
+        ImagePool {
+            inner: BufferPool::new(),
+        }
+    }
+
+    /// A zero-filled image of `shape`, reusing pooled storage when
+    /// available.
+    pub fn get(&self, shape: impl Into<Vec3>) -> Tensor3<f32> {
+        let shape = shape.into();
+        Tensor3::from_vec(shape, self.inner.get(shape.len()))
+    }
+
+    /// Recycles an image's storage.
+    pub fn put(&self, image: Tensor3<f32>) {
+        self.inner.put(image.into_vec());
+    }
+
+    /// Allocation counters.
+    pub fn stats(&self) -> &PoolStats {
+        &self.inner.stats
+    }
+}
+
+impl Default for ImagePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn buffers_are_recycled_within_class() {
+        let pool = BufferPool::<f32>::new();
+        let a = pool.get(100); // class 7 (128)
+        assert_eq!(a.len(), 100);
+        assert!(a.capacity() >= 128);
+        pool.put(a);
+        let _b = pool.get(120); // also class 7 -> must hit
+        assert_eq!(pool.stats().hits(), 1);
+        assert_eq!(pool.stats().misses(), 1);
+    }
+
+    #[test]
+    fn recycled_buffers_are_zeroed() {
+        let pool = ImagePool::new();
+        let mut img = pool.get(Vec3::cube(4));
+        img.as_mut_slice().fill(7.0);
+        pool.put(img);
+        let img2 = pool.get(Vec3::cube(4));
+        assert!(img2.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn footprint_never_decreases_but_plateaus() {
+        let pool = ImagePool::new();
+        let mut footprints = vec![];
+        for _round in 0..5 {
+            // a training-like loop: allocate a working set, release it
+            let imgs: Vec<_> = (1..6).map(|s| pool.get(Vec3::cube(s))).collect();
+            for img in imgs {
+                pool.put(img);
+            }
+            footprints.push(pool.stats().bytes_from_system());
+        }
+        // monotone...
+        assert!(footprints.windows(2).all(|w| w[0] <= w[1]));
+        // ...and flat after the first round ("memory usage peaks after a
+        // few rounds", §VII-C)
+        assert_eq!(footprints[1], footprints[4]);
+    }
+
+    #[test]
+    fn different_classes_do_not_mix() {
+        let pool = BufferPool::<f32>::new();
+        pool.put(Vec::with_capacity(16)); // class 4
+        let b = pool.get(1000); // class 10 -> miss
+        assert_eq!(pool.stats().misses(), 1);
+        assert_eq!(pool.stats().hits(), 0);
+        drop(b);
+        assert_eq!(pool.parked_in_class(4), 1);
+    }
+
+    #[test]
+    fn concurrent_get_put_is_safe_and_loses_nothing() {
+        let pool = Arc::new(ImagePool::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let img = pool.get(Vec3::cube(1 + (t + i) % 7));
+                        pool.put(img);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(pool.stats().bytes_in_use(), 0);
+        assert_eq!(pool.stats().hits() + pool.stats().misses(), 800);
+    }
+}

@@ -1,0 +1,44 @@
+//! Allocator ablation (§VII-C): pooled power-of-two recycling vs the
+//! system allocator for image-sized buffers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use znn_alloc::ImagePool;
+use znn_tensor::{Tensor3, Vec3};
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    let shapes: Vec<Vec3> = (2..10).map(|s| Vec3::cube(s * 4)).collect();
+
+    let pool = ImagePool::new();
+    // warm the pools so the steady state is measured
+    for &s in &shapes {
+        let img = pool.get(s);
+        pool.put(img);
+    }
+    group.bench_function("pooled", |b| {
+        b.iter(|| {
+            for &s in &shapes {
+                let img = pool.get(black_box(s));
+                pool.put(black_box(img));
+            }
+        })
+    });
+    group.bench_function("system", |b| {
+        b.iter(|| {
+            for &s in &shapes {
+                let img = Tensor3::<f32>::zeros(black_box(s));
+                black_box(img);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Concurrent summation ablation (§VII-B): Algorithm 4's wait-free
+//! pointer-swap accumulation vs the naive strategy of adding under the
+//! lock ("critical section time that scales linearly with image size").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+use znn_sched::{Accumulate, ConcurrentSum};
+use znn_tensor::{ops, Image, Vec3};
+
+struct Img(Image);
+impl Accumulate for Img {
+    fn accumulate(&mut self, other: Self) {
+        ops::add_assign(&mut self.0, &other.0);
+    }
+}
+
+fn wait_free(contributions: &[Image], threads: usize) -> Image {
+    let sum = Arc::new(ConcurrentSum::<Img>::new(contributions.len()));
+    std::thread::scope(|s| {
+        for chunk in contributions.chunks(contributions.len().div_ceil(threads)) {
+            let sum = Arc::clone(&sum);
+            s.spawn(move || {
+                for img in chunk {
+                    sum.add(Img(img.clone()));
+                }
+            });
+        }
+    });
+    sum.take().0
+}
+
+fn locked(contributions: &[Image], threads: usize) -> Image {
+    let acc = Mutex::new(Image::zeros(contributions[0].shape()));
+    std::thread::scope(|s| {
+        for chunk in contributions.chunks(contributions.len().div_ceil(threads)) {
+            let acc = &acc;
+            s.spawn(move || {
+                for img in chunk {
+                    // the whole O(n³) add happens inside the lock
+                    ops::add_assign(&mut acc.lock(), img);
+                }
+            });
+        }
+    });
+    acc.into_inner()
+}
+
+fn bench_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent_sum");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
+    let contributions: Vec<Image> = (0..8).map(|i| ops::random(Vec3::cube(24), i)).collect();
+    for threads in [2usize, 4] {
+        group.bench_function(format!("wait_free/t{threads}"), |b| {
+            b.iter(|| black_box(wait_free(&contributions, threads)))
+        });
+        group.bench_function(format!("mutex_adds/t{threads}"), |b| {
+            b.iter(|| black_box(locked(&contributions, threads)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sum);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! 3D FFT throughput: smooth vs awkward sizes, plan-cache reuse.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use znn_fft::{good_size, FftEngine};
+use znn_tensor::{ops, Vec3};
+
+fn bench_fft(c: &mut Criterion) {
+    let engine = FftEngine::new();
+    let mut group = c.benchmark_group("fft3");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    for n in [16usize, 17, 18, 20] {
+        let img = ops::random(Vec3::cube(n), 1);
+        // warm the plan cache
+        let mut warm = ops::to_complex(&img);
+        engine.fft3(&mut warm);
+        group.bench_function(format!("n{n}{}", if good_size(n) == n { "(smooth)" } else { "" }), |b| {
+            b.iter(|| {
+                let mut t = ops::to_complex(black_box(&img));
+                engine.fft3(&mut t);
+                black_box(t)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("padded_transform");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    let img = ops::random(Vec3::cube(13), 2);
+    let raw = Vec3::cube(13 + 4); // 17 per axis: not smooth
+    let smooth = Vec3::cube(good_size(13 + 4)); // 18 per axis
+    let _ = engine.forward_padded(&img, raw);
+    let _ = engine.forward_padded(&img, smooth);
+    group.bench_function("pad_to_exact_17", |b| {
+        b.iter(|| black_box(engine.forward_padded(&img, raw)))
+    });
+    group.bench_function("pad_to_smooth_18", |b| {
+        b.iter(|| black_box(engine.forward_padded(&img, smooth)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

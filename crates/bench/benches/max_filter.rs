@@ -1,0 +1,40 @@
+//! Max-filter ablation: monotonic deque vs the paper's heap variant
+//! (§II: "we keep a heap of size k ... each operation taking log k").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use znn_ops::filter::{max_filter, FilterImpl};
+use znn_ops::pool::max_pool;
+use znn_tensor::{ops, Vec3};
+
+fn bench_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_filter");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    let img = ops::random(Vec3::cube(24), 1);
+    for k in [2usize, 4] {
+        for which in [FilterImpl::Deque, FilterImpl::Heap] {
+            group.bench_function(format!("{which:?}/k{k}"), |b| {
+                b.iter(|| {
+                    black_box(max_filter(
+                        black_box(&img),
+                        Vec3::cube(k),
+                        Vec3::one(),
+                        which,
+                    ))
+                })
+            });
+        }
+    }
+    // pooling as the reference point (same window, disjoint blocks)
+    group.bench_function("max_pool/k2", |b| {
+        b.iter(|| black_box(max_pool(black_box(&img), Vec3::cube(2))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter);
+criterion_main!(benches);

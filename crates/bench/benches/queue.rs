@@ -1,0 +1,37 @@
+//! Queue ablation (§VII-A): heap-of-lists (O(log K)) vs a plain binary
+//! heap (O(log N)) under a wide-network workload where K << N.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use znn_sched::queue::TaskQueue;
+use znn_sched::QueuePolicy;
+
+fn workload(policy: QueuePolicy, tasks: usize, distinct: u64) {
+    let mut q: TaskQueue<u64> = TaskQueue::new(policy);
+    // layered arrival: bursts of same-priority tasks, like wide layers
+    for i in 0..tasks as u64 {
+        q.push(i % distinct, i);
+    }
+    while q.pop().is_some() {}
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    for (tasks, distinct) in [(10_000usize, 8u64), (10_000, 1000)] {
+        group.bench_function(format!("heap_of_lists/N{tasks}/K{distinct}"), |b| {
+            b.iter(|| workload(black_box(QueuePolicy::Priority), tasks, distinct))
+        });
+        group.bench_function(format!("binary_heap/N{tasks}/K{distinct}"), |b| {
+            b.iter(|| workload(black_box(QueuePolicy::BinaryHeap), tasks, distinct))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

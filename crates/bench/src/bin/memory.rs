@@ -1,0 +1,55 @@
+//! §IX-B — working-memory accounting: pooled-allocator footprint over
+//! training rounds (flat after warm-up, per §VII-C) and the memory cost
+//! of FFT memoization vs the speed it buys.
+
+use znn_alloc::ImagePool;
+use znn_bench::{fmt, header, row, time_per_round};
+use znn_core::{ConvPolicy, TrainConfig, Znn};
+use znn_graph::builder::comparison_net;
+use znn_tensor::{ops, Vec3};
+
+fn main() {
+    println!("# §VII-C — pooled allocator footprint across training-like rounds\n");
+    let pool = ImagePool::new();
+    header(&["round", "bytes from system", "hits", "misses"]);
+    for round in 0..6 {
+        let imgs: Vec<_> = (1..8).map(|s| pool.get(Vec3::cube(4 * s))).collect();
+        for img in imgs {
+            pool.put(img);
+        }
+        row(&[
+            round.to_string(),
+            pool.stats().bytes_from_system().to_string(),
+            pool.stats().hits().to_string(),
+            pool.stats().misses().to_string(),
+        ]);
+    }
+    println!("\nshape check: footprint peaks after round 0 and stays flat.\n");
+
+    println!("# §IX-B — FFT memoization: memory vs speed\n");
+    let out_shape = Vec3::cube(2);
+    let kernel = Vec3::cube(5);
+    header(&["memoize", "s/update", "memoized spectra (count)"]);
+    for memoize in [false, true] {
+        let (g, _) = comparison_net(3, kernel, Vec3::cube(2), true);
+        let cfg = TrainConfig {
+            workers: 2,
+            conv: ConvPolicy::ForceFft,
+            memoize_fft: memoize,
+            ..Default::default()
+        };
+        let znn = Znn::new(g, out_shape, cfg).unwrap();
+        let x = ops::random(znn.input_shape(), 1);
+        let t = ops::random(out_shape, 2).map(|v| 0.5 + 0.4 * v);
+        let dt = time_per_round(1, 3, || {
+            znn.train_step(&[x.clone()], &[t.clone()]);
+        });
+        row(&[
+            memoize.to_string(),
+            fmt(dt),
+            znn.memoized_spectra().to_string(),
+        ]);
+    }
+    println!("\nshape check: memoization trades retained spectra (memory");
+    println!("proportional to network size) for fewer transforms per round.");
+}

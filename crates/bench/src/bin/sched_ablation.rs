@@ -1,0 +1,76 @@
+//! §X — scheduling-policy ablation: the paper's priority scheduler vs
+//! FIFO, LIFO and work stealing.
+//!
+//! Simulated makespans come from the discrete-event scheduler running
+//! the real task graph on the Table V machines; the host rows run the
+//! real engine under each queue policy on this machine's threads.
+
+use znn_bench::{fmt, header, row, time_per_round};
+use znn_core::{ConvPolicy, TrainConfig, Znn};
+use znn_graph::builder::{scalability_net_2d, scalability_net_3d};
+use znn_sched::QueuePolicy;
+use znn_sim::costs::task_costs;
+use znn_sim::{simulate, Machine, SimConfig};
+use znn_tensor::{ops, Vec3};
+use znn_theory::flops::ConvAlgorithm;
+
+fn main() {
+    println!("# §X — scheduling ablation (simulated makespan, lower is better)\n");
+    let machine = Machine::xeon_e5_18core();
+    header(&["network", "priority", "fifo", "lifo", "binary-heap"]);
+    for (name, tgc) in [
+        ("2D width 20", {
+            let (g, _) = scalability_net_2d(20);
+            task_costs(&g, Vec3::flat(48, 48), ConvAlgorithm::Fft, true).unwrap()
+        }),
+        ("3D width 20", {
+            let (g, _) = scalability_net_3d(20);
+            task_costs(&g, Vec3::cube(12), ConvAlgorithm::Direct, false).unwrap()
+        }),
+    ] {
+        let (tg, costs) = tgc;
+        let run = |policy| {
+            simulate(
+                &tg,
+                &costs,
+                &machine,
+                &SimConfig {
+                    workers: 18,
+                    policy,
+                    rounds: 2,
+                    ..Default::default()
+                },
+            )
+            .makespan
+        };
+        row(&[
+            name.into(),
+            fmt(run(QueuePolicy::Priority)),
+            fmt(run(QueuePolicy::Fifo)),
+            fmt(run(QueuePolicy::Lifo)),
+            fmt(run(QueuePolicy::BinaryHeap)),
+        ]);
+    }
+    println!("\n(binary-heap shares the priority *order* — same makespan — but");
+    println!("pays O(log N) per queue op instead of O(log K); see the `queue`");
+    println!("criterion bench for the data-structure cost.)\n");
+
+    println!("# host rows: real engine under each policy (s/update)\n");
+    header(&["policy", "s/update"]);
+    let (g, _) = scalability_net_3d(4);
+    for policy in [QueuePolicy::Priority, QueuePolicy::Fifo, QueuePolicy::Lifo] {
+        let cfg = TrainConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            queue: policy,
+            conv: ConvPolicy::ForceDirect,
+            ..Default::default()
+        };
+        let znn = Znn::new(g.clone(), Vec3::cube(4), cfg).unwrap();
+        let x = ops::random(znn.input_shape(), 1);
+        let t = ops::random(Vec3::cube(4), 2);
+        let dt = time_per_round(1, 4, || {
+            znn.train_step(&[x.clone()], &[t.clone()]);
+        });
+        row(&[format!("{policy:?}"), fmt(dt)]);
+    }
+}

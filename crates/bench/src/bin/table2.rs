@@ -1,0 +1,70 @@
+//! Table II — complexity of a fully-connected convolutional layer:
+//! direct vs FFT vs FFT-memoized, analytic and measured.
+//!
+//! The measured columns run one layer of each kind through the real
+//! engine (width f, one full train round restricted to the conv layer)
+//! and report seconds/round; the shape to check is *who wins where*,
+//! and that memoization cuts the FFT totals by roughly a third.
+
+use std::sync::Arc;
+use znn_bench::{fmt, header, row, time_per_round};
+use znn_fft::FftEngine;
+use znn_ops::{conv, ConvMethod, Convolver};
+use znn_tensor::{ops, Vec3};
+use znn_theory::flops::{ConvAlgorithm, LayerModel};
+
+fn main() {
+    println!("# Table II — fully-connected conv layer (f -> f'), n input, k kernel\n");
+    let f = 4usize;
+    let fp = 4usize;
+    header(&[
+        "n", "k",
+        "direct total FLOPs", "fft total FLOPs", "memoized total FLOPs",
+        "measured direct s", "measured fft s",
+    ]);
+    for (n, k) in [(20usize, 3usize), (20, 5), (24, 7), (24, 9)] {
+        let model = LayerModel::Conv {
+            n: n as f64,
+            k: k as f64,
+            f_in: f as f64,
+            f_out: fp as f64,
+        };
+        let d = model.flops_default(ConvAlgorithm::Direct).total();
+        let ff = model.flops_default(ConvAlgorithm::Fft).total();
+        let fm = model.flops_default(ConvAlgorithm::FftMemoized).total();
+
+        // measure one layer's forward+backward+update with each method
+        let engine = Arc::new(FftEngine::new());
+        let imgs: Vec<_> = (0..f).map(|i| ops::random(Vec3::cube(n), i as u64)).collect();
+        let kers: Vec<_> = (0..f * fp)
+            .map(|i| ops::random(Vec3::cube(k), 100 + i as u64))
+            .collect();
+        let out_shape = Vec3::cube(n).valid_conv(Vec3::cube(k)).unwrap();
+        let g = ops::random(out_shape, 9);
+        let measure = |method: ConvMethod| {
+            let c = Convolver::new(method, Arc::clone(&engine));
+            time_per_round(1, 3, || {
+                for (i, ker) in kers.iter().enumerate() {
+                    let x = &imgs[i % f];
+                    std::hint::black_box(c.conv_valid(x, ker, Vec3::one()));
+                    std::hint::black_box(c.input_gradient(&g, ker, Vec3::one()));
+                    std::hint::black_box(c.kernel_gradient(x, &g, Vec3::cube(k), Vec3::one()));
+                }
+            })
+        };
+        let td = measure(ConvMethod::Direct);
+        let tf = measure(ConvMethod::Fft);
+        row(&[
+            n.to_string(),
+            k.to_string(),
+            fmt(d),
+            fmt(ff),
+            fmt(fm),
+            fmt(td),
+            fmt(tf),
+        ]);
+        let _ = conv::valid_shape(Vec3::cube(n), Vec3::cube(k), Vec3::one());
+    }
+    println!("\nexpected shape: direct wins at small k, FFT wins at large k;");
+    println!("memoized/fft analytic ratio approaches 2/3 for wide layers.");
+}

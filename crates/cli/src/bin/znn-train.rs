@@ -1,0 +1,149 @@
+//! `znn-train` — train a network described by a spec file on synthetic
+//! volumes, from the command line.
+//!
+//! ```sh
+//! znn-train --spec net.znn --out 8 --rounds 50 --lr 0.01 \
+//!           [--workers N] [--fft|--direct] [--no-memoize] [--stealing]
+//! ```
+//!
+//! With no `--spec`, a built-in demo spec is used.
+
+use std::process::ExitCode;
+use znn_cli::parse_spec;
+use znn_core::{BlobsDataset, ConvPolicy, LrSchedule, TrainConfig, Trainer, Znn};
+use znn_ops::Loss;
+use znn_tensor::Vec3;
+
+const DEMO_SPEC: &str = "
+# built-in demo: small 3D boundary detector
+input width=1
+conv width=4 kernel=3,3,3
+transfer fn=relu
+conv width=4 kernel=3,3,3
+transfer fn=relu
+conv width=1 kernel=3,3,3
+transfer fn=logistic
+";
+
+struct Args {
+    spec: Option<String>,
+    out: usize,
+    rounds: u64,
+    lr: f32,
+    workers: Option<usize>,
+    conv: ConvPolicy,
+    memoize: bool,
+    stealing: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: znn-train [--spec FILE] [--out N] [--rounds N] [--lr F]\n\
+         \t[--workers N] [--fft|--direct] [--no-memoize] [--stealing]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        spec: None,
+        out: 6,
+        rounds: 30,
+        lr: 0.01,
+        workers: None,
+        conv: ConvPolicy::Autotune,
+        memoize: true,
+        stealing: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--spec" => args.spec = Some(val()),
+            "--out" => args.out = val().parse().unwrap_or_else(|_| usage()),
+            "--rounds" => args.rounds = val().parse().unwrap_or_else(|_| usage()),
+            "--lr" => args.lr = val().parse().unwrap_or_else(|_| usage()),
+            "--workers" => args.workers = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--fft" => args.conv = ConvPolicy::ForceFft,
+            "--direct" => args.conv = ConvPolicy::ForceDirect,
+            "--no-memoize" => args.memoize = false,
+            "--stealing" => args.stealing = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let text = match &args.spec {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => DEMO_SPEC.to_string(),
+    };
+    let graph = match parse_spec(&text) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "network: {} nodes, {} edges, {} parameters",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.parameter_count()
+    );
+
+    let cfg = TrainConfig {
+        workers: args.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }),
+        learning_rate: args.lr,
+        conv: args.conv,
+        memoize_fft: args.memoize,
+        work_stealing: args.stealing,
+        loss: Loss::Mse,
+        ..Default::default()
+    };
+    let out_shape = Vec3::cube(args.out);
+    let znn = match Znn::new(graph, out_shape, cfg) {
+        Ok(z) => z,
+        Err(e) => {
+            eprintln!("cannot size network: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("input {} -> output {out_shape}", znn.input_shape());
+
+    let data = BlobsDataset {
+        input_shape: znn.input_shape(),
+        output_shape: out_shape,
+        blobs: 3,
+        noise: 0.05,
+        seed: 42,
+    };
+    let mut trainer = Trainer::new(&znn, data).with_schedule(LrSchedule::Constant);
+    let report_every = (args.rounds / 6).max(1);
+    trainer.run(args.rounds, report_every, |p| {
+        println!(
+            "rounds {:>4}+: mean loss {:.4} (lr x{:.2})",
+            p.round, p.mean_loss, p.lr_factor
+        );
+    });
+    let stats = znn.stats();
+    println!(
+        "done: {} tasks executed; FORCE done/inline/delegated = {}/{}/{}",
+        stats.tasks_executed,
+        stats.force_already_done,
+        stats.force_ran_inline,
+        stats.force_delegated
+    );
+    ExitCode::SUCCESS
+}

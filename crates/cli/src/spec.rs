@@ -1,0 +1,271 @@
+//! The network-spec parser.
+
+use std::collections::HashMap;
+use std::fmt;
+use znn_graph::{Graph, NetBuilder};
+use znn_ops::Transfer;
+use znn_tensor::Vec3;
+
+/// Parse errors with line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(line: usize, message: impl Into<String>) -> SpecError {
+    SpecError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses `k`, `k,k` or `k,k,k` into a [`Vec3`]; single values are
+/// isotropic, pairs are 2D (`1,a,b`).
+fn parse_dims(line: usize, s: &str) -> Result<Vec3, SpecError> {
+    let parts: Vec<usize> = s
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| err(line, format!("bad integer '{p}'")))
+        })
+        .collect::<Result<_, _>>()?;
+    match parts.as_slice() {
+        [k] => Ok(Vec3::cube(*k)),
+        [a, b] => Ok(Vec3::flat(*a, *b)),
+        [a, b, c] => Ok(Vec3::new(*a, *b, *c)),
+        _ => Err(err(line, format!("expected 1-3 dims, got {}", parts.len()))),
+    }
+}
+
+fn parse_transfer(line: usize, s: &str) -> Result<Transfer, SpecError> {
+    match s {
+        "linear" => Ok(Transfer::Linear),
+        "logistic" | "sigmoid" => Ok(Transfer::Logistic),
+        "tanh" => Ok(Transfer::Tanh),
+        "relu" => Ok(Transfer::Relu),
+        other => {
+            if let Some(alpha) = other.strip_prefix("leaky:") {
+                let a = alpha
+                    .parse::<f32>()
+                    .map_err(|_| err(line, format!("bad leaky slope '{alpha}'")))?;
+                Ok(Transfer::LeakyRelu(a))
+            } else {
+                Err(err(
+                    line,
+                    format!("unknown transfer '{other}' (linear|logistic|tanh|relu|leaky:a)"),
+                ))
+            }
+        }
+    }
+}
+
+fn kv_map(line: usize, tokens: &[&str]) -> Result<HashMap<String, String>, SpecError> {
+    let mut map = HashMap::new();
+    for t in tokens {
+        let (k, v) = t
+            .split_once('=')
+            .ok_or_else(|| err(line, format!("expected key=value, got '{t}'")))?;
+        if map.insert(k.to_string(), v.to_string()).is_some() {
+            return Err(err(line, format!("duplicate key '{k}'")));
+        }
+    }
+    Ok(map)
+}
+
+fn get<'m>(
+    line: usize,
+    map: &'m HashMap<String, String>,
+    key: &str,
+) -> Result<&'m str, SpecError> {
+    map.get(key)
+        .map(|s| s.as_str())
+        .ok_or_else(|| err(line, format!("missing '{key}='")))
+}
+
+/// Parses a network spec into a validated [`Graph`].
+pub fn parse_spec(text: &str) -> Result<Graph, SpecError> {
+    let mut builder: Option<NetBuilder> = None;
+    let mut saw_layer = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let (directive, rest) = tokens.split_first().expect("nonempty line");
+        let map = kv_map(line_no, rest)?;
+        match *directive {
+            "input" => {
+                if builder.is_some() {
+                    return Err(err(line_no, "'input' must be the first directive"));
+                }
+                let width: usize = get(line_no, &map, "width")?
+                    .parse()
+                    .map_err(|_| err(line_no, "bad width"))?;
+                if width == 0 {
+                    return Err(err(line_no, "width must be >= 1"));
+                }
+                builder = Some(NetBuilder::new("spec", width));
+            }
+            _ if builder.is_none() => {
+                return Err(err(line_no, "spec must start with 'input width=...'"));
+            }
+            "conv" => {
+                let width: usize = get(line_no, &map, "width")?
+                    .parse()
+                    .map_err(|_| err(line_no, "bad width"))?;
+                let kernel = parse_dims(line_no, get(line_no, &map, "kernel")?)?;
+                let mut b = builder.take().expect("checked above");
+                if let Some(s) = map.get("sparsity") {
+                    b = b.set_sparsity(parse_dims(line_no, s)?);
+                }
+                builder = Some(b.conv(width, kernel));
+                saw_layer = true;
+            }
+            "transfer" => {
+                let f = parse_transfer(line_no, get(line_no, &map, "fn")?)?;
+                builder = Some(builder.take().expect("checked above").transfer(f));
+                saw_layer = true;
+            }
+            "maxpool" => {
+                let window = parse_dims(line_no, get(line_no, &map, "window")?)?;
+                builder = Some(builder.take().expect("checked above").max_pool(window));
+                saw_layer = true;
+            }
+            "maxfilter" => {
+                let window = parse_dims(line_no, get(line_no, &map, "window")?)?;
+                let b = builder.take().expect("checked above");
+                builder = Some(if let Some(d) = map.get("dilation") {
+                    b.max_filter_sparse(window, parse_dims(line_no, d)?)
+                } else {
+                    b.max_filter(window)
+                });
+                saw_layer = true;
+            }
+            other => {
+                return Err(err(
+                    line_no,
+                    format!(
+                        "unknown directive '{other}' \
+                         (input|conv|transfer|maxpool|maxfilter)"
+                    ),
+                ));
+            }
+        }
+    }
+    let builder = builder.ok_or_else(|| err(0, "empty spec"))?;
+    if !saw_layer {
+        return Err(err(0, "spec declares no layers"));
+    }
+    builder
+        .build()
+        .map(|(g, _)| g)
+        .map_err(|e| err(0, format!("invalid network: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use znn_graph::EdgeOp;
+
+    const GOOD: &str = "
+# 3D boundary detector
+input width=1
+conv width=4 kernel=3,3,3
+transfer fn=relu
+maxfilter window=2,2,2
+conv width=1 kernel=3
+transfer fn=logistic
+";
+
+    #[test]
+    fn parses_a_valid_spec() {
+        let g = parse_spec(GOOD).unwrap();
+        assert!(g.validate().is_ok());
+        // conv(1->4) + transfer(4) + filter(4) + conv(4->1) + transfer(1)
+        assert_eq!(g.edge_count(), 4 + 4 + 4 + 4 + 1);
+        // the max-filter bumped sparsity for the second conv layer
+        let sparse_convs = g
+            .edges()
+            .iter()
+            .filter(|e| matches!(e.op, EdgeOp::Conv { sparsity, .. } if sparsity == Vec3::cube(2)))
+            .count();
+        assert_eq!(sparse_convs, 4);
+    }
+
+    #[test]
+    fn isotropic_and_2d_dims() {
+        assert_eq!(parse_dims(1, "5").unwrap(), Vec3::cube(5));
+        assert_eq!(parse_dims(1, "7,9").unwrap(), Vec3::flat(7, 9));
+        assert_eq!(parse_dims(1, "1,2,3").unwrap(), Vec3::new(1, 2, 3));
+        assert!(parse_dims(1, "1,2,3,4").is_err());
+        assert!(parse_dims(1, "x").is_err());
+    }
+
+    #[test]
+    fn transfer_names() {
+        assert_eq!(parse_transfer(1, "relu").unwrap(), Transfer::Relu);
+        assert_eq!(parse_transfer(1, "sigmoid").unwrap(), Transfer::Logistic);
+        assert_eq!(
+            parse_transfer(1, "leaky:0.2").unwrap(),
+            Transfer::LeakyRelu(0.2)
+        );
+        assert!(parse_transfer(1, "swish").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_spec("input width=1\nconv width=2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("kernel"));
+    }
+
+    #[test]
+    fn input_must_come_first() {
+        let e = parse_spec("conv width=2 kernel=3\n").unwrap_err();
+        assert!(e.message.contains("input"));
+        let e2 = parse_spec("input width=1\ninput width=2\n").unwrap_err();
+        assert!(e2.message.contains("first"));
+    }
+
+    #[test]
+    fn rejects_unknown_directives_and_bad_kv() {
+        assert!(parse_spec("input width=1\npool size=2\n").is_err());
+        assert!(parse_spec("input width=1\nconv width 2\n").is_err());
+        assert!(parse_spec("input width=0\n").is_err());
+        assert!(parse_spec("").is_err());
+        assert!(parse_spec("input width=1\n").is_err()); // no layers
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let g = parse_spec("  # leading comment\n\ninput width=1 # trailing\nconv width=1 kernel=2\n").unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn explicit_sparsity_and_filter_dilation() {
+        let g = parse_spec(
+            "input width=1\nconv width=1 kernel=3 sparsity=2\nmaxfilter window=2 dilation=1\n",
+        )
+        .unwrap();
+        let has_sparse = g
+            .edges()
+            .iter()
+            .any(|e| matches!(e.op, EdgeOp::Conv { sparsity, .. } if sparsity == Vec3::cube(2)));
+        assert!(has_sparse);
+    }
+}

@@ -1,0 +1,102 @@
+//! Engine configuration.
+
+use znn_ops::Loss;
+use znn_sched::QueuePolicy;
+
+/// How the engine chooses between direct and FFT convolution (§IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ConvPolicy {
+    /// Time both per distinct layer geometry and keep the winner — the
+    /// paper's layerwise autotuning.
+    #[default]
+    Autotune,
+    /// Always direct convolution.
+    ForceDirect,
+    /// Always FFT convolution.
+    ForceFft,
+}
+
+/// Training-engine configuration.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Worker threads (the paper's "predetermined number of workers").
+    pub workers: usize,
+    /// Global queue policy (§VI-A default, §X alternatives).
+    pub queue: QueuePolicy,
+    /// Use the §X work-stealing scheduler instead of the global
+    /// priority queue (priorities are then ignored).
+    pub work_stealing: bool,
+    /// SGD learning rate η.
+    pub learning_rate: f32,
+    /// Momentum coefficient (0 disables; classic heavy-ball).
+    pub momentum: f32,
+    /// L2 weight decay coefficient (0 disables).
+    pub weight_decay: f32,
+    /// Convolution method selection.
+    pub conv: ConvPolicy,
+    /// Memoize FFTs of images and kernels across passes (Table II).
+    pub memoize_fft: bool,
+    /// Loss function.
+    pub loss: Loss,
+    /// Dropout probability on hidden transfer edges (§XI extension);
+    /// `None` disables. Inverted dropout: outputs scale by `1/(1-p)` at
+    /// train time, inference needs no correction.
+    pub dropout: Option<f32>,
+    /// Seed for parameter init and dropout masks.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue: QueuePolicy::Priority,
+            work_stealing: false,
+            learning_rate: 0.01,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            conv: ConvPolicy::Autotune,
+            memoize_fft: true,
+            loss: Loss::Mse,
+            dropout: None,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A deterministic, single-purpose config for tests: direct conv,
+    /// no momentum/decay/dropout.
+    pub fn test_default(workers: usize) -> Self {
+        TrainConfig {
+            workers,
+            conv: ConvPolicy::ForceDirect,
+            memoize_fft: false,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = TrainConfig::default();
+        assert!(c.workers >= 1);
+        assert_eq!(c.conv, ConvPolicy::Autotune);
+        assert!(c.memoize_fft);
+        assert!(c.dropout.is_none());
+    }
+
+    #[test]
+    fn test_default_pins_determinism_knobs() {
+        let c = TrainConfig::test_default(2);
+        assert_eq!(c.workers, 2);
+        assert_eq!(c.conv, ConvPolicy::ForceDirect);
+        assert!(!c.memoize_fft);
+    }
+}

@@ -1,0 +1,836 @@
+//! The task-parallel training engine.
+
+use crate::config::{ConvPolicy, TrainConfig};
+use crate::state::{Contribution, ConvEdge, EdgeState, FreqPlan, MaxEdge, NodeState, TransferEdge};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use znn_fft::{good_shape, spectra, FftEngine};
+use znn_graph::init::{bias_init, kernel_init, ParamSet};
+use znn_graph::{priority, shapes, EdgeId, EdgeOp, Graph, NodeId};
+use znn_ops::filter::{max_filter, max_filter_backward, FilterImpl};
+use znn_ops::pool::{max_pool, max_pool_backward};
+use znn_ops::{conv, convolver, ConvMethod};
+use znn_sched::{Executor, Latch, Scheduler, StealingExecutor, UPDATE_PRIORITY};
+use znn_tensor::{ops, Image, Tensor3, Vec3};
+
+/// Statistics of one training round.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundStats {
+    /// Loss value of the round.
+    pub loss: f64,
+    /// Total tasks executed so far by the scheduler.
+    pub tasks_executed: u64,
+    /// FORCE outcomes so far: updates found complete.
+    pub force_already_done: u64,
+    /// FORCE outcomes so far: updates run inline by the forcing thread.
+    pub force_ran_inline: u64,
+    /// FORCE outcomes so far: subtasks delegated to the running update.
+    pub force_delegated: u64,
+    /// Peak number of distinct priorities in the queue (heap-of-lists K).
+    pub peak_distinct_priorities: u64,
+}
+
+/// The engine's scheduler: the paper's priority executor or the §X
+/// work-stealing alternative.
+enum Pool {
+    Queue(Executor),
+    Stealing(StealingExecutor),
+}
+
+impl Pool {
+    fn submit(&self, priority: u64, task: znn_sched::Task) {
+        match self {
+            Pool::Queue(e) => e.submit(priority, task),
+            Pool::Stealing(e) => e.submit(priority, task),
+        }
+    }
+
+    fn stats(&self) -> znn_sched::SchedStats {
+        match self {
+            Pool::Queue(e) => e.stats(),
+            Pool::Stealing(e) => e.stats(),
+        }
+    }
+
+    fn wait_quiescent(&self) {
+        match self {
+            Pool::Queue(e) => e.wait_quiescent(),
+            Pool::Stealing(e) => e.wait_quiescent(),
+        }
+    }
+}
+
+struct Inner {
+    graph: Graph,
+    node_shape: Vec<Vec3>,
+    nodes: Vec<NodeState>,
+    edges: Vec<EdgeState>,
+    fwd_prio: Vec<u64>,
+    bwd_prio: Vec<u64>,
+    fft: Arc<FftEngine>,
+    cfg: TrainConfig,
+    sched: Pool,
+    fwd_latch: Latch,
+    bwd_latch: Latch,
+    training: AtomicBool,
+    round: AtomicU64,
+    input_shape: Vec3,
+}
+
+/// The ZNN engine: builds runtime state for a computation graph and
+/// trains it with the paper's task-parallel algorithm. See the crate
+/// docs for the moving parts.
+pub struct Znn {
+    inner: Arc<Inner>,
+}
+
+impl Drop for Znn {
+    fn drop(&mut self) {
+        // drain pending updates and the task queue so no queued closure
+        // keeps the runtime alive past the engine
+        self.flush_updates();
+        self.inner.sched.wait_quiescent();
+    }
+}
+
+impl Znn {
+    /// Builds an engine for `graph`, sized so output nodes produce
+    /// `output_shape` patches.
+    pub fn new(
+        graph: Graph,
+        output_shape: Vec3,
+        cfg: TrainConfig,
+    ) -> Result<Self, shapes::ShapeError> {
+        graph.validate().map_err(shapes::ShapeError::Graph)?;
+        let input_shape = shapes::required_input_shape(&graph, output_shape)?;
+        let shape_map = shapes::infer_shapes(&graph, input_shape)?;
+        let node_shape: Vec<Vec3> = (0..graph.node_count())
+            .map(|i| shape_map[&NodeId(i)])
+            .collect();
+
+        let fft = Arc::new(FftEngine::new());
+        // decide the convolution method per distinct layer geometry (§IV)
+        let mut method_cache: HashMap<(Vec3, Vec3, Vec3), ConvMethod> = HashMap::new();
+        let mut edge_method = vec![ConvMethod::Direct; graph.edge_count()];
+        for (i, e) in graph.edges().iter().enumerate() {
+            if let EdgeOp::Conv { kernel, sparsity } = e.op {
+                let n = node_shape[e.from.0];
+                let key = (n, kernel, sparsity);
+                let m = *method_cache.entry(key).or_insert_with(|| match cfg.conv {
+                    ConvPolicy::ForceDirect => ConvMethod::Direct,
+                    ConvPolicy::ForceFft => ConvMethod::Fft,
+                    ConvPolicy::Autotune => convolver::autotune(n, kernel, sparsity, &fft, 1),
+                });
+                edge_method[i] = m;
+            }
+        }
+
+        // per-edge runtime state with deterministic parameter init
+        let edges: Vec<EdgeState> = graph
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| match e.op {
+                EdgeOp::Conv { kernel, sparsity } => EdgeState::Conv(ConvEdge {
+                    kernel: Mutex::new(kernel_init(cfg.seed, EdgeId(i), kernel)),
+                    velocity: Mutex::new(None),
+                    method: edge_method[i],
+                    kernel_spectrum: Mutex::new(None),
+                    update: znn_sched::UpdateHandle::new(),
+                    k: kernel,
+                    sparsity,
+                    m: good_shape(node_shape[e.from.0]),
+                }),
+                EdgeOp::Transfer { function } => EdgeState::Transfer(TransferEdge {
+                    bias: Mutex::new(bias_init(cfg.seed, EdgeId(i))),
+                    function,
+                    saved_output: Mutex::new(None),
+                    dropout_mask: Mutex::new(None),
+                    update: znn_sched::UpdateHandle::new(),
+                }),
+                EdgeOp::MaxPool { window } => EdgeState::Max(MaxEdge {
+                    window,
+                    sparsity: Vec3::one(),
+                    is_pool: true,
+                    argmax: Mutex::new(None),
+                    in_shape: node_shape[e.from.0],
+                }),
+                EdgeOp::MaxFilter { window, sparsity } => EdgeState::Max(MaxEdge {
+                    window,
+                    sparsity,
+                    is_pool: false,
+                    argmax: Mutex::new(None),
+                    in_shape: node_shape[e.from.0],
+                }),
+            })
+            .collect();
+
+        // node state + frequency-accumulation eligibility
+        let mut nodes: Vec<NodeState> = (0..graph.node_count())
+            .map(|i| {
+                let n = graph.node(NodeId(i));
+                NodeState::new(n.in_edges.len(), n.out_edges.len(), node_shape[i])
+            })
+            .collect();
+        for (i, node) in graph.nodes().iter().enumerate() {
+            // forward: all in-edges FFT convs sharing (m, crop)
+            let mut fwd_plan: Option<FreqPlan> = None;
+            let eligible_fwd = !node.in_edges.is_empty()
+                && node.in_edges.iter().all(|&e| {
+                    matches!(&edges[e.0], EdgeState::Conv(c) if c.method == ConvMethod::Fft)
+                });
+            if eligible_fwd {
+                let plans: Vec<FreqPlan> = node
+                    .in_edges
+                    .iter()
+                    .map(|&e| {
+                        let EdgeState::Conv(c) = &edges[e.0] else {
+                            unreachable!()
+                        };
+                        FreqPlan {
+                            m: c.m,
+                            crop_at: c.k.dilated(c.sparsity) - Vec3::one(),
+                            out_shape: node_shape[i],
+                        }
+                    })
+                    .collect();
+                if plans
+                    .windows(2)
+                    .all(|w| w[0].m == w[1].m && w[0].crop_at == w[1].crop_at)
+                {
+                    fwd_plan = Some(plans[0]);
+                }
+            }
+            nodes[i].fwd_freq = fwd_plan;
+            // backward: all out-edges FFT convs (transform shape is
+            // good(this node's shape) for each, crop at origin)
+            let eligible_bwd = !node.out_edges.is_empty()
+                && node.out_edges.iter().all(|&e| {
+                    matches!(&edges[e.0], EdgeState::Conv(c) if c.method == ConvMethod::Fft)
+                });
+            if eligible_bwd {
+                nodes[i].bwd_freq = Some(FreqPlan {
+                    m: good_shape(node_shape[i]),
+                    crop_at: Vec3::zero(),
+                    out_shape: node_shape[i],
+                });
+            }
+        }
+
+        let fwd_prio_map = priority::forward_priorities(&graph);
+        let bwd_prio_map = priority::backward_priorities(&graph);
+        let fwd_prio: Vec<u64> = (0..graph.edge_count())
+            .map(|i| fwd_prio_map[&EdgeId(i)])
+            .collect();
+        let bwd_prio: Vec<u64> = (0..graph.edge_count())
+            .map(|i| bwd_prio_map[&EdgeId(i)])
+            .collect();
+
+        let outputs = graph.outputs().len();
+        let inputs = graph.inputs().len();
+        let sched = if cfg.work_stealing {
+            Pool::Stealing(StealingExecutor::new(cfg.workers))
+        } else {
+            Pool::Queue(Executor::new(cfg.workers, cfg.queue))
+        };
+        let inner = Arc::new(Inner {
+            graph,
+            node_shape,
+            nodes,
+            edges,
+            fwd_prio,
+            bwd_prio,
+            fft,
+            cfg,
+            sched,
+            fwd_latch: Latch::new(outputs),
+            bwd_latch: Latch::new(inputs),
+            training: AtomicBool::new(false),
+            round: AtomicU64::new(0),
+            input_shape,
+        });
+        // latches start "open" until a round arms them
+        for _ in 0..outputs {
+            inner.fwd_latch.count_down();
+        }
+        for _ in 0..inputs {
+            inner.bwd_latch.count_down();
+        }
+        Ok(Znn { inner })
+    }
+
+    /// The input patch shape the network consumes.
+    pub fn input_shape(&self) -> Vec3 {
+        self.inner.input_shape
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.inner.graph
+    }
+
+    /// The convolution method chosen for edge `e` (after autotuning).
+    pub fn conv_method(&self, e: EdgeId) -> Option<ConvMethod> {
+        match &self.inner.edges[e.0] {
+            EdgeState::Conv(c) => Some(c.method),
+            _ => None,
+        }
+    }
+
+    /// Inference: one forward pass, no dropout, no learning. Pending
+    /// updates from a previous training round are forced first (by the
+    /// forward tasks themselves, per Algorithm 1).
+    pub fn forward(&self, inputs: &[Image]) -> Vec<Image> {
+        self.inner.training.store(false, Ordering::Release);
+        self.run_forward(inputs);
+        self.inner
+            .graph
+            .outputs()
+            .iter()
+            .map(|o| {
+                let img = self.inner.nodes[o.0].fwd_image.lock();
+                img.as_ref().expect("forward completed").as_ref().clone()
+            })
+            .collect()
+    }
+
+    /// One training round: forward, loss, backward. Parameter updates
+    /// are scheduled at the lowest priority and will be *forced* by the
+    /// next round's forward pass (or by [`Znn::flush_updates`]).
+    /// Returns the loss.
+    pub fn train_step(&self, inputs: &[Image], targets: &[Image]) -> f64 {
+        self.inner.training.store(true, Ordering::Release);
+        self.inner.round.fetch_add(1, Ordering::Relaxed);
+        self.run_forward(inputs);
+
+        let outputs = self.inner.graph.outputs();
+        assert_eq!(targets.len(), outputs.len(), "one target per output");
+        let mut loss_total = 0.0;
+        let grads: Vec<(NodeId, Arc<Image>)> = outputs
+            .iter()
+            .zip(targets)
+            .map(|(&o, t)| {
+                let y = {
+                    let img = self.inner.nodes[o.0].fwd_image.lock();
+                    Arc::clone(img.as_ref().expect("forward completed"))
+                };
+                loss_total += self.inner.cfg.loss.value(&y, t);
+                (o, Arc::new(self.inner.cfg.loss.gradient(&y, t)))
+            })
+            .collect();
+
+        // backward phase
+        self.inner.bwd_latch.reset(self.inner.graph.inputs().len());
+        for (o, g) in grads {
+            let node = &self.inner.nodes[o.0];
+            node.bwd_spectra.clear();
+            *node.bwd_image.lock() = Some(Arc::clone(&g));
+            if self.inner.graph.node(o).in_edges.is_empty() {
+                // degenerate single-node graph
+                self.inner.bwd_latch.count_down();
+                continue;
+            }
+            for &e in &self.inner.graph.node(o).in_edges {
+                Inner::submit_backward(&self.inner, e, Arc::clone(&g));
+            }
+        }
+        self.inner.bwd_latch.wait();
+        loss_total
+    }
+
+    /// Forces every pending parameter update to completion (used before
+    /// reading parameters and at the end of training).
+    pub fn flush_updates(&self) {
+        for e in &self.inner.edges {
+            if let Some(h) = e.update_handle() {
+                h.force(Box::new(|| {}));
+            }
+        }
+    }
+
+    /// Snapshot of all trainable parameters (flushes updates first).
+    pub fn params(&self) -> ParamSet {
+        self.flush_updates();
+        let g = &self.inner.graph;
+        let mut kernels = Vec::with_capacity(g.edge_count());
+        let mut biases = Vec::with_capacity(g.edge_count());
+        for e in &self.inner.edges {
+            match e {
+                EdgeState::Conv(c) => {
+                    kernels.push(Some(c.kernel.lock().clone()));
+                    biases.push(None);
+                }
+                EdgeState::Transfer(t) => {
+                    kernels.push(None);
+                    biases.push(Some(*t.bias.lock()));
+                }
+                EdgeState::Max(_) => {
+                    kernels.push(None);
+                    biases.push(None);
+                }
+            }
+        }
+        ParamSet { kernels, biases }
+    }
+
+    /// Overwrites all trainable parameters (aligning engines in tests).
+    pub fn set_params(&self, p: &ParamSet) {
+        self.flush_updates();
+        for (i, e) in self.inner.edges.iter().enumerate() {
+            match e {
+                EdgeState::Conv(c) => {
+                    if let Some(k) = &p.kernels[i] {
+                        *c.kernel.lock() = k.clone();
+                        *c.kernel_spectrum.lock() = None;
+                    }
+                }
+                EdgeState::Transfer(t) => {
+                    if let Some(b) = p.biases[i] {
+                        *t.bias.lock() = b;
+                    }
+                }
+                EdgeState::Max(_) => {}
+            }
+        }
+    }
+
+    /// Scheduler / FORCE statistics accumulated since construction.
+    pub fn stats(&self) -> RoundStats {
+        let s = self.inner.sched.stats();
+        let mut f = RoundStats {
+            loss: 0.0,
+            tasks_executed: s.executed,
+            peak_distinct_priorities: s.peak_distinct_priorities,
+            ..Default::default()
+        };
+        for e in &self.inner.edges {
+            if let Some(h) = e.update_handle() {
+                f.force_already_done += h.stats().already_done.load(Ordering::Relaxed);
+                f.force_ran_inline += h.stats().ran_inline.load(Ordering::Relaxed);
+                f.force_delegated += h.stats().delegated.load(Ordering::Relaxed);
+            }
+        }
+        f
+    }
+
+    /// Bytes of spectra currently memoized (for §IX-B accounting).
+    pub fn memoized_spectra(&self) -> usize {
+        self.inner
+            .nodes
+            .iter()
+            .map(|n| n.fwd_spectra.len() + n.bwd_spectra.len())
+            .sum()
+    }
+
+    fn run_forward(&self, inputs: &[Image]) {
+        let input_nodes = self.inner.graph.inputs();
+        assert_eq!(
+            inputs.len(),
+            input_nodes.len(),
+            "expected {} inputs",
+            input_nodes.len()
+        );
+        self.inner
+            .fwd_latch
+            .reset(self.inner.graph.outputs().len());
+        for (&n, img) in input_nodes.iter().zip(inputs) {
+            assert_eq!(img.shape(), self.inner.input_shape, "input shape mismatch");
+            let node = &self.inner.nodes[n.0];
+            node.fwd_spectra.clear();
+            let img = Arc::new(img.clone());
+            *node.fwd_image.lock() = Some(Arc::clone(&img));
+            if self.inner.graph.node(n).out_edges.is_empty() {
+                self.inner.fwd_latch.count_down();
+                continue;
+            }
+            for &e in &self.inner.graph.node(n).out_edges {
+                Inner::submit_forward(&self.inner, e, Arc::clone(&img));
+            }
+        }
+        self.inner.fwd_latch.wait();
+    }
+}
+
+impl Inner {
+    /// Algorithm 1: the forward task forces the edge's pending update,
+    /// then runs DO-FORWARD.
+    fn submit_forward(inner: &Arc<Inner>, e: EdgeId, input: Arc<Image>) {
+        let prio = inner.fwd_prio[e.0];
+        let inner2 = Arc::clone(inner);
+        inner.sched.submit(
+            prio,
+            Box::new(move || {
+                let inner3 = Arc::clone(&inner2);
+                let do_fwd: Box<dyn FnOnce() + Send> =
+                    Box::new(move || Inner::do_forward(&inner3, e, input));
+                match inner2.edges[e.0].update_handle() {
+                    Some(h) => h.force(do_fwd),
+                    None => do_fwd(),
+                }
+            }),
+        );
+    }
+
+    /// DO-FORWARD: apply the edge transform, accumulate into the target
+    /// node's sum, and unfold dependent tasks if this was the last
+    /// contribution.
+    fn do_forward(inner: &Arc<Inner>, e: EdgeId, input: Arc<Image>) {
+        let edge = inner.graph.edge(e);
+        let to = edge.to;
+        let contribution = match &inner.edges[e.0] {
+            EdgeState::Conv(c) => Inner::conv_forward(inner, c, edge.from, to, &input),
+            EdgeState::Transfer(t) => {
+                let bias = *t.bias.lock();
+                let mut y = t.function.forward(&input, bias);
+                // §XI dropout extension on hidden transfer edges
+                if inner.training.load(Ordering::Acquire) {
+                    if let Some(p) = inner.cfg.dropout {
+                        if !inner.graph.node(to).out_edges.is_empty() {
+                            let mask = Inner::dropout_mask(inner, e, y.shape(), p);
+                            ops::mul_assign(&mut y, &mask);
+                            *t.dropout_mask.lock() = Some(Arc::new(mask));
+                        }
+                    }
+                }
+                let y = Arc::new(y);
+                *t.saved_output.lock() = Some(Arc::clone(&y));
+                Contribution::Spatial(y.as_ref().clone())
+            }
+            EdgeState::Max(m) => {
+                if m.is_pool {
+                    let r = max_pool(&input, m.window);
+                    *m.argmax.lock() = Some(r.argmax);
+                    Contribution::Spatial(r.output)
+                } else {
+                    let r = max_filter(&input, m.window, m.sparsity, FilterImpl::Deque);
+                    *m.argmax.lock() = Some(r.argmax);
+                    Contribution::Spatial(r.output)
+                }
+            }
+        };
+        let node = &inner.nodes[to.0];
+        if node.fwd_sum.add(contribution) {
+            Inner::finalize_forward(inner, to);
+        }
+    }
+
+    fn conv_forward(
+        inner: &Arc<Inner>,
+        c: &ConvEdge,
+        from: NodeId,
+        to: NodeId,
+        input: &Image,
+    ) -> Contribution {
+        match c.method {
+            ConvMethod::Direct => {
+                let w = c.kernel.lock();
+                Contribution::Spatial(conv::conv_valid(input, &w, c.sparsity))
+            }
+            ConvMethod::Fft => {
+                let m = c.m;
+                // the source node's image spectrum is computed once and
+                // shared by every edge leaving that node (§IV)
+                let x_spec = inner.nodes[from.0]
+                    .fwd_spectra
+                    .get_or_compute(m, || inner.fft.forward_padded(input, m));
+                let w_spec = Inner::kernel_spectrum(inner, c, m);
+                let prod = ops::mul_c(&x_spec, &w_spec);
+                let node = &inner.nodes[to.0];
+                match node.fwd_freq {
+                    // defer the inverse transform to the node sum: one
+                    // inverse FFT per node, not per edge
+                    Some(_) => Contribution::Freq(prod),
+                    None => {
+                        let crop_at = c.k.dilated(c.sparsity) - Vec3::one();
+                        Contribution::Spatial(inner.fft.inverse_real(
+                            prod,
+                            crop_at,
+                            inner.node_shape[to.0],
+                        ))
+                    }
+                }
+            }
+        }
+    }
+
+    fn dropout_mask(inner: &Arc<Inner>, e: EdgeId, shape: Vec3, p: f32) -> Image {
+        let round = inner.round.load(Ordering::Relaxed);
+        let seed = inner
+            .cfg
+            .seed
+            .wrapping_add(0xD807)
+            .wrapping_mul(round.wrapping_add(1))
+            .wrapping_add(e.0 as u64);
+        let keep = 1.0 - p;
+        let mut mask = Tensor3::<f32>::zeros(shape);
+        ops::fill_with(&mut mask, |i| {
+            let u = (ops::splitmix_f32(seed, i as u64) + 1.0) * 0.5; // [0,1)
+            if u < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        mask
+    }
+
+    fn finalize_forward(inner: &Arc<Inner>, v: NodeId) {
+        let node = &inner.nodes[v.0];
+        let total = node.fwd_sum.take();
+        let img = match total {
+            Contribution::Spatial(i) => i,
+            Contribution::Freq(spec) => {
+                let plan = node.fwd_freq.expect("freq sum implies a plan");
+                inner.fft.inverse_real(spec, plan.crop_at, plan.out_shape)
+            }
+        };
+        debug_assert_eq!(img.shape(), node.shape);
+        node.fwd_spectra.clear();
+        let img = Arc::new(img);
+        *node.fwd_image.lock() = Some(Arc::clone(&img));
+        let out_edges = &inner.graph.node(v).out_edges;
+        if out_edges.is_empty() {
+            inner.fwd_latch.count_down();
+        } else {
+            for &e in out_edges {
+                Inner::submit_forward(inner, e, Arc::clone(&img));
+            }
+        }
+    }
+
+    fn submit_backward(inner: &Arc<Inner>, e: EdgeId, grad: Arc<Image>) {
+        let prio = inner.bwd_prio[e.0];
+        let inner2 = Arc::clone(inner);
+        inner.sched.submit(
+            prio,
+            Box::new(move || Inner::do_backward(&inner2, e, grad)),
+        );
+    }
+
+    /// Algorithm 2: backward transform, arm + enqueue the update task,
+    /// accumulate into the source node's backward sum.
+    fn do_backward(inner: &Arc<Inner>, e: EdgeId, grad: Arc<Image>) {
+        let edge = inner.graph.edge(e);
+        let (from, to) = (edge.from, edge.to);
+        let contribution = match &inner.edges[e.0] {
+            EdgeState::Conv(c) => {
+                // Algorithm 2 order matters: the backward transform must
+                // read the kernel *before* the update task is armed — an
+                // idle worker may pick the update up immediately and
+                // modify the kernel.
+                let out = Inner::conv_backward(inner, c, from, to, &grad);
+                Inner::arm_conv_update(inner, e, c, from, to, &grad);
+                out
+            }
+            EdgeState::Transfer(t) => {
+                let y = {
+                    let s = t.saved_output.lock();
+                    Arc::clone(s.as_ref().expect("forward before backward"))
+                };
+                let mut back = {
+                    // dropout: the mask multiplies the chain in both
+                    // directions
+                    if let Some(mask) = t.dropout_mask.lock().take() {
+                        let mut g = grad.as_ref().clone();
+                        ops::mul_assign(&mut g, &mask);
+                        t.function.backward(&g, &y)
+                    } else {
+                        t.function.backward(&grad, &y)
+                    }
+                };
+                // §III-B: bias gradient is the sum of the backward image
+                let db = back.sum();
+                Inner::arm_bias_update(inner, e, db);
+                // weight decay does not apply to biases
+                let _ = &mut back;
+                Contribution::Spatial(back)
+            }
+            EdgeState::Max(m) => {
+                let argmax = {
+                    let a = m.argmax.lock();
+                    a.as_ref().expect("forward before backward").clone()
+                };
+                let out = if m.is_pool {
+                    max_pool_backward(&grad, &argmax, m.in_shape)
+                } else {
+                    max_filter_backward(&grad, &argmax, m.in_shape)
+                };
+                Contribution::Spatial(out)
+            }
+        };
+        let node = &inner.nodes[from.0];
+        if node.bwd_sum.add(contribution) {
+            Inner::finalize_backward(inner, from);
+        }
+    }
+
+    fn conv_backward(
+        inner: &Arc<Inner>,
+        c: &ConvEdge,
+        from: NodeId,
+        to: NodeId,
+        grad: &Arc<Image>,
+    ) -> Contribution {
+        match c.method {
+            ConvMethod::Direct => {
+                let w = c.kernel.lock();
+                Contribution::Spatial(conv::input_gradient(grad, &w, c.sparsity))
+            }
+            ConvMethod::Fft => {
+                let m = c.m; // == good(shape of `from`)
+                let g_spec = inner.nodes[to.0].bwd_spectra.get_or_compute(m, || {
+                    inner.fft.forward_padded(grad, m)
+                });
+                let w_spec = Inner::kernel_spectrum(inner, c, m);
+                let v_spec = spectra::flip_spectrum(&w_spec, c.k.dilated(c.sparsity));
+                let prod = ops::mul_c(&g_spec, &v_spec);
+                let node = &inner.nodes[from.0];
+                if node.bwd_freq.is_some() {
+                    Contribution::Freq(prod)
+                } else {
+                    Contribution::Spatial(inner.fft.inverse_real(
+                        prod,
+                        Vec3::zero(),
+                        inner.node_shape[from.0],
+                    ))
+                }
+            }
+        }
+    }
+
+    /// The memoized kernel spectrum (Table II): computed in the forward
+    /// pass and reused by backward/update when memoization is on. Sparse
+    /// kernels are dilated onto the skip lattice before transforming.
+    fn kernel_spectrum(inner: &Arc<Inner>, c: &ConvEdge, m: Vec3) -> Arc<znn_tensor::CImage> {
+        let compute = || {
+            let w = c.kernel.lock();
+            if c.sparsity == Vec3::one() {
+                inner.fft.forward_padded(&w, m)
+            } else {
+                inner
+                    .fft
+                    .forward_padded(&znn_tensor::pad::dilate(&w, c.sparsity), m)
+            }
+        };
+        if inner.cfg.memoize_fft {
+            let mut cached = c.kernel_spectrum.lock();
+            if let Some(s) = cached.as_ref() {
+                return Arc::clone(s);
+            }
+            let spec = Arc::new(compute());
+            *cached = Some(Arc::clone(&spec));
+            spec
+        } else {
+            Arc::new(compute())
+        }
+    }
+
+    fn arm_conv_update(
+        inner: &Arc<Inner>,
+        e: EdgeId,
+        c: &ConvEdge,
+        from: NodeId,
+        to: NodeId,
+        grad: &Arc<Image>,
+    ) {
+        // capture what the update needs *now* (Algorithm 2 line 4):
+        // the forward image (and optionally spectra) of this round
+        let x = {
+            let img = inner.nodes[from.0].fwd_image.lock();
+            Arc::clone(img.as_ref().expect("forward image retained"))
+        };
+        let use_fft = c.method == ConvMethod::Fft && inner.cfg.memoize_fft;
+        let (x_spec, g_spec) = if use_fft {
+            let m = c.m;
+            let xs = inner.nodes[from.0]
+                .fwd_spectra
+                .get_or_compute(m, || inner.fft.forward_padded(&x, m));
+            let gs = inner.nodes[to.0]
+                .bwd_spectra
+                .get_or_compute(m, || inner.fft.forward_padded(grad, m));
+            (Some(xs), Some(gs))
+        } else {
+            (None, None)
+        };
+        let grad = Arc::clone(grad);
+        let inner2 = Arc::clone(inner);
+        let handle = c.update.clone();
+        handle.arm(Box::new(move || {
+            let EdgeState::Conv(c) = &inner2.edges[e.0] else {
+                unreachable!()
+            };
+            let dw = match (&x_spec, &g_spec) {
+                (Some(xs), Some(gs)) => {
+                    let corr = spectra::corr_spectrum(xs, gs);
+                    spectra::kernel_gradient_from_corr(&inner2.fft, corr, c.k, c.sparsity)
+                }
+                _ => conv::kernel_gradient(&x, &grad, c.k, c.sparsity),
+            };
+            Inner::apply_sgd(inner2.as_ref(), c, dw);
+        }));
+        let entry = c.update.queue_entry();
+        inner.sched.submit(UPDATE_PRIORITY, entry);
+    }
+
+    fn apply_sgd(inner: &Inner, c: &ConvEdge, mut dw: Image) {
+        let cfg = &inner.cfg;
+        let mut w = c.kernel.lock();
+        if cfg.weight_decay > 0.0 {
+            // dw += wd * w
+            ops::axpy(&mut dw, 1.0, &w.map(|v| v * cfg.weight_decay));
+        }
+        if cfg.momentum > 0.0 {
+            let mut vel = c.velocity.lock();
+            let v = vel.get_or_insert_with(|| Tensor3::zeros(w.shape()));
+            // v = momentum*v - lr*dw ; w += v
+            ops::scale(v, cfg.momentum);
+            ops::sub_scaled(v, cfg.learning_rate, &dw);
+            ops::add_assign(&mut w, v);
+        } else {
+            ops::sub_scaled(&mut w, cfg.learning_rate, &dw);
+        }
+        // the kernel changed: its memoized spectrum is stale
+        *c.kernel_spectrum.lock() = None;
+    }
+
+    fn arm_bias_update(inner: &Arc<Inner>, e: EdgeId, db: f32) {
+        let inner2 = Arc::clone(inner);
+        let EdgeState::Transfer(t) = &inner.edges[e.0] else {
+            unreachable!()
+        };
+        let handle = t.update.clone();
+        handle.arm(Box::new(move || {
+            let EdgeState::Transfer(t) = &inner2.edges[e.0] else {
+                unreachable!()
+            };
+            *t.bias.lock() -= inner2.cfg.learning_rate * db;
+        }));
+        let entry = t.update.queue_entry();
+        inner.sched.submit(UPDATE_PRIORITY, entry);
+    }
+
+    fn finalize_backward(inner: &Arc<Inner>, u: NodeId) {
+        let node = &inner.nodes[u.0];
+        let total = node.bwd_sum.take();
+        let img = match total {
+            Contribution::Spatial(i) => i,
+            Contribution::Freq(spec) => {
+                let plan = node.bwd_freq.expect("freq sum implies a plan");
+                inner.fft.inverse_real(spec, plan.crop_at, plan.out_shape)
+            }
+        };
+        node.bwd_spectra.clear();
+        let img = Arc::new(img);
+        *node.bwd_image.lock() = Some(Arc::clone(&img));
+        let in_edges = &inner.graph.node(u).in_edges;
+        if in_edges.is_empty() {
+            inner.bwd_latch.count_down();
+        } else {
+            for &e in in_edges {
+                Inner::submit_backward(inner, e, Arc::clone(&img));
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! A training-loop driver on top of [`crate::Znn`]: datasets, learning
+//! rate schedules, progress reporting, and parameter checkpoints.
+//!
+//! The engine itself (following the paper) only knows about single
+//! rounds; this module packages the loop every user writes anyway.
+
+use crate::data::Dataset;
+use crate::engine::Znn;
+use znn_graph::init::ParamSet;
+
+/// Learning-rate schedules.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// Constant η.
+    Constant,
+    /// `η · decay^(round / step)` (staircase exponential decay).
+    StepDecay {
+        /// Multiplier applied every `every` rounds.
+        decay: f32,
+        /// Interval in rounds.
+        every: u64,
+    },
+    /// Linear warm-up from `η/10` over the given number of rounds, then
+    /// constant.
+    Warmup {
+        /// Warm-up length in rounds.
+        rounds: u64,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier applied to the base learning rate at `round`.
+    pub fn factor(&self, round: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::StepDecay { decay, every } => {
+                decay.powi((round / every.max(1)) as i32)
+            }
+            LrSchedule::Warmup { rounds } => {
+                if rounds == 0 || round >= rounds {
+                    1.0
+                } else {
+                    0.1 + 0.9 * (round as f32 / rounds as f32)
+                }
+            }
+        }
+    }
+}
+
+/// Progress record for one reporting window.
+#[derive(Clone, Copy, Debug)]
+pub struct Progress {
+    /// First round of the window.
+    pub round: u64,
+    /// Mean loss over the window.
+    pub mean_loss: f64,
+    /// Learning-rate factor in effect.
+    pub lr_factor: f32,
+}
+
+/// The training loop driver.
+///
+/// The engine's learning rate is fixed at construction, so the schedule
+/// is applied by shrinking the per-round target residual (`t' = y +
+/// f·(t−y)`), which scales the MSE gradient by exactly the schedule
+/// factor — equivalent to scaling the SGD step.
+pub struct Trainer<'a, D: Dataset> {
+    znn: &'a Znn,
+    data: D,
+    schedule: LrSchedule,
+    round: u64,
+    history: Vec<f64>,
+}
+
+impl<'a, D: Dataset> Trainer<'a, D> {
+    /// A trainer for `znn` drawing samples from `data`.
+    pub fn new(znn: &'a Znn, data: D) -> Self {
+        Trainer {
+            znn,
+            data,
+            schedule: LrSchedule::Constant,
+            round: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// Sets the learning-rate schedule.
+    pub fn with_schedule(mut self, schedule: LrSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Runs `rounds` training rounds; invokes `report` every
+    /// `report_every` rounds with windowed statistics.
+    pub fn run(
+        &mut self,
+        rounds: u64,
+        report_every: u64,
+        mut report: impl FnMut(Progress),
+    ) -> f64 {
+        let mut window = Vec::new();
+        let mut last = 0.0;
+        for _ in 0..rounds {
+            let factor = self.schedule.factor(self.round);
+            let (inputs, mut targets) = self.data.sample(self.round);
+            // schedule-by-target-scaling: for MSE-family losses, scaling
+            // the residual scales the gradient; for exactness across
+            // losses we instead scale by running extra no-op rounds —
+            // here we take the simple route of scaling targets toward
+            // the current output only when factor != 1, which reduces
+            // the effective step. Constant schedules take the fast path.
+            last = if (factor - 1.0).abs() < f32::EPSILON {
+                self.znn.train_step(&inputs, &targets)
+            } else {
+                // blend target toward prediction: t' = y + f·(t − y)
+                let preds = self.znn.forward(&inputs);
+                for (t, y) in targets.iter_mut().zip(&preds) {
+                    let mut blended = y.clone();
+                    for (b, (&tv, &yv)) in blended
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(t.as_slice().iter().zip(y.as_slice()))
+                    {
+                        *b = yv + factor * (tv - yv);
+                    }
+                    *t = blended;
+                }
+                self.znn.train_step(&inputs, &targets)
+            };
+            window.push(last);
+            self.history.push(last);
+            self.round += 1;
+            if self.round.is_multiple_of(report_every.max(1)) {
+                report(Progress {
+                    round: self.round - window.len() as u64,
+                    mean_loss: window.iter().sum::<f64>() / window.len() as f64,
+                    lr_factor: factor,
+                });
+                window.clear();
+            }
+        }
+        last
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds_done(&self) -> u64 {
+        self.round
+    }
+
+    /// Full per-round loss history.
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// Parameter checkpoint (forces pending updates).
+    pub fn checkpoint(&self) -> ParamSet {
+        self.znn.params()
+    }
+
+    /// Restores a checkpoint.
+    pub fn restore(&self, params: &ParamSet) {
+        self.znn.set_params(params);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RandomDataset, TrainConfig};
+    use znn_graph::NetBuilder;
+    use znn_ops::Transfer;
+    use znn_tensor::Vec3;
+
+    fn tiny() -> Znn {
+        let (g, _) = NetBuilder::new("tr", 1)
+            .conv(2, Vec3::cube(2))
+            .transfer(Transfer::Tanh)
+            .conv(1, Vec3::cube(2))
+            .build()
+            .unwrap();
+        Znn::new(g, Vec3::cube(2), TrainConfig::test_default(1)).unwrap()
+    }
+
+    fn data(znn: &Znn) -> RandomDataset {
+        RandomDataset {
+            input_shape: znn.input_shape(),
+            output_shape: Vec3::cube(2),
+            inputs: 1,
+            outputs: 1,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn schedules_produce_expected_factors() {
+        assert_eq!(LrSchedule::Constant.factor(100), 1.0);
+        let s = LrSchedule::StepDecay {
+            decay: 0.5,
+            every: 10,
+        };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+        let w = LrSchedule::Warmup { rounds: 10 };
+        assert!((w.factor(0) - 0.1).abs() < 1e-6);
+        assert!(w.factor(5) < 1.0);
+        assert_eq!(w.factor(10), 1.0);
+    }
+
+    #[test]
+    fn run_reports_windows_and_counts_rounds() {
+        let znn = tiny();
+        let mut trainer = Trainer::new(&znn, data(&znn));
+        let mut reports = Vec::new();
+        trainer.run(9, 3, |p| reports.push(p));
+        assert_eq!(trainer.rounds_done(), 9);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(trainer.history().len(), 9);
+        assert!(reports.iter().all(|p| p.mean_loss.is_finite()));
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips() {
+        let znn = tiny();
+        let mut trainer = Trainer::new(&znn, data(&znn));
+        let before = trainer.checkpoint();
+        trainer.run(5, 5, |_| {});
+        let after = trainer.checkpoint();
+        assert!(before.max_abs_diff(&after) > 0.0, "training changed nothing");
+        trainer.restore(&before);
+        assert_eq!(trainer.checkpoint().max_abs_diff(&before), 0.0);
+    }
+
+    #[test]
+    fn warmup_changes_the_early_trajectory() {
+        let a = tiny();
+        let b = tiny();
+        let mut t1 = Trainer::new(&a, data(&a));
+        let mut t2 = Trainer::new(&b, data(&b)).with_schedule(LrSchedule::Warmup { rounds: 8 });
+        t1.run(4, 4, |_| {});
+        t2.run(4, 4, |_| {});
+        let d = a.params().max_abs_diff(&b.params());
+        assert!(d > 0.0, "warm-up had no effect");
+    }
+}

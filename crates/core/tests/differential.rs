@@ -1,0 +1,160 @@
+//! Differential tests: the task-parallel engine must agree with the
+//! independent sequential reference implementation on every
+//! configuration axis — convolution method, FFT memoization, frequency
+//! accumulation, worker count, and graph shape.
+
+use znn_baseline::ReferenceNet;
+use znn_core::{ConvPolicy, TrainConfig, Znn};
+use znn_graph::builder::{comparison_net, scalability_net_3d};
+use znn_graph::{Graph, NetBuilder};
+use znn_ops::{Loss, Transfer};
+use znn_tensor::{ops, Image, Tensor3, Vec3};
+
+fn cfg(workers: usize, conv: ConvPolicy, memoize: bool) -> TrainConfig {
+    TrainConfig {
+        workers,
+        conv,
+        memoize_fft: memoize,
+        learning_rate: 0.02,
+        ..TrainConfig::test_default(workers)
+    }
+}
+
+fn check_agreement(graph: Graph, out_shape: Vec3, config: TrainConfig, rounds: usize, tol: f32) {
+    let seed = config.seed;
+    let znn = Znn::new(graph.clone(), out_shape, config.clone()).unwrap();
+    let mut reference = ReferenceNet::new(graph, out_shape, seed).unwrap();
+    let x = ops::random(znn.input_shape(), 77);
+    let t = ops::random(out_shape, 78).map(|v| 0.4 * v);
+
+    // identical starting parameters by construction (same seed)
+    assert!(znn.params().max_abs_diff(reference.params()) == 0.0);
+
+    for round in 0..rounds {
+        let l_znn = znn.train_step(&[x.clone()], &[t.clone()]);
+        let l_ref = reference.train_step(&[x.clone()], &[t.clone()], Loss::Mse, 0.02);
+        assert!(
+            (l_znn - l_ref).abs() < tol as f64 * (1.0 + l_ref.abs()),
+            "round {round}: loss {l_znn} vs {l_ref}"
+        );
+    }
+    let d = znn.params().max_abs_diff(reference.params());
+    assert!(d < tol, "parameter divergence {d}");
+
+    // and inference agrees after training
+    let y_znn = znn.forward(&[x.clone()]);
+    let y_ref = reference.forward(&[x]);
+    let dy = y_znn[0].max_abs_diff(&y_ref[0]);
+    assert!(dy < tol, "output divergence {dy}");
+}
+
+fn small_graph() -> (Graph, Vec3) {
+    let (g, _) = NetBuilder::new("diff", 1)
+        .conv(3, Vec3::cube(2))
+        .transfer(Transfer::Tanh)
+        .conv(2, Vec3::cube(2))
+        .transfer(Transfer::Logistic)
+        .conv(1, Vec3::cube(2))
+        .transfer(Transfer::Linear)
+        .build()
+        .unwrap();
+    (g, Vec3::cube(2))
+}
+
+#[test]
+fn direct_single_worker_matches_reference() {
+    let (g, out) = small_graph();
+    check_agreement(g, out, cfg(1, ConvPolicy::ForceDirect, false), 4, 1e-3);
+}
+
+#[test]
+fn direct_multi_worker_matches_reference() {
+    let (g, out) = small_graph();
+    check_agreement(g, out, cfg(4, ConvPolicy::ForceDirect, false), 4, 1e-3);
+}
+
+#[test]
+fn fft_without_memoization_matches_reference() {
+    let (g, out) = small_graph();
+    check_agreement(g, out, cfg(2, ConvPolicy::ForceFft, false), 3, 2e-3);
+}
+
+#[test]
+fn fft_with_memoization_matches_reference() {
+    let (g, out) = small_graph();
+    check_agreement(g, out, cfg(2, ConvPolicy::ForceFft, true), 3, 2e-3);
+}
+
+#[test]
+fn pooling_and_filtering_nets_match_reference() {
+    for sparse in [false, true] {
+        let (g, _) = comparison_net(2, Vec3::flat(3, 3), Vec3::flat(2, 2), sparse);
+        check_agreement(
+            g,
+            Vec3::flat(2, 2),
+            cfg(3, ConvPolicy::ForceDirect, false),
+            2,
+            2e-3,
+        );
+    }
+}
+
+#[test]
+fn sparse_fft_training_matches_reference() {
+    // skip kernels through the FFT path (dilated kernels + lattice
+    // gather in the gradients)
+    let (g, _) = comparison_net(2, Vec3::flat(3, 3), Vec3::flat(2, 2), true);
+    check_agreement(
+        g,
+        Vec3::flat(2, 2),
+        cfg(2, ConvPolicy::ForceFft, true),
+        2,
+        5e-3,
+    );
+}
+
+#[test]
+fn paper_3d_architecture_matches_reference() {
+    let (g, _) = scalability_net_3d(2);
+    check_agreement(
+        g,
+        Vec3::cube(2),
+        cfg(4, ConvPolicy::ForceDirect, false),
+        2,
+        2e-3,
+    );
+}
+
+#[test]
+fn autotune_picks_a_method_and_stays_correct() {
+    let (g, out) = small_graph();
+    let config = TrainConfig {
+        conv: ConvPolicy::Autotune,
+        ..cfg(2, ConvPolicy::Autotune, true)
+    };
+    check_agreement(g, out, config, 2, 2e-3);
+}
+
+#[test]
+fn multi_output_networks_train() {
+    // a diamond: input feeds two conv stacks with separate outputs
+    let mut g = Graph::new();
+    let i = g.add_node("in");
+    let a = g.add_node("a");
+    let b = g.add_node("b");
+    let conv = znn_graph::EdgeOp::Conv {
+        kernel: Vec3::cube(2),
+        sparsity: Vec3::one(),
+    };
+    g.add_edge(i, a, conv);
+    g.add_edge(i, b, conv);
+    let out = Vec3::cube(3);
+    let znn = Znn::new(g.clone(), out, cfg(2, ConvPolicy::ForceDirect, false)).unwrap();
+    let mut reference = ReferenceNet::new(g, out, cfg(1, ConvPolicy::ForceDirect, false).seed).unwrap();
+    let x = ops::random(znn.input_shape(), 5);
+    let t1: Image = Tensor3::zeros(out);
+    let t2: Image = Tensor3::filled(out, 0.5);
+    let l = znn.train_step(&[x.clone()], &[t1.clone(), t2.clone()]);
+    let lr = reference.train_step(&[x], &[t1, t2], Loss::Mse, 0.02);
+    assert!((l - lr).abs() < 1e-3 * (1.0 + lr.abs()), "{l} vs {lr}");
+}

@@ -1,0 +1,276 @@
+//! The 3D FFT engine and its plan cache.
+
+use parking_lot::Mutex;
+use rustfft::{Fft, FftPlanner};
+use std::collections::HashMap;
+use std::sync::Arc;
+use znn_tensor::lines::{Axis, LineSpec};
+use znn_tensor::{ops, CImage, Complex32, Image, Vec3};
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Dir {
+    Fwd,
+    Inv,
+}
+
+/// A 3D complex FFT built from cached 1D `rustfft` plans.
+///
+/// The engine is cheap to share (`Arc<FftEngine>`) and thread-safe: the
+/// plan cache is behind a mutex that is only touched on cache misses;
+/// the transforms themselves run lock-free on caller-owned buffers.
+///
+/// Transforms are decomposed per axis. Lines along the fastest (`z`)
+/// axis are processed in place on the contiguous buffer; `x`/`y` lines
+/// are gathered into a scratch buffer, transformed in bulk, and
+/// scattered back.
+pub struct FftEngine {
+    planner: Mutex<FftPlanner<f32>>,
+    plans: Mutex<HashMap<(usize, Dir), Arc<dyn Fft<f32>>>>,
+}
+
+impl FftEngine {
+    /// A new engine with an empty plan cache.
+    pub fn new() -> Self {
+        FftEngine {
+            planner: Mutex::new(FftPlanner::new()),
+            plans: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn plan(&self, len: usize, dir: Dir) -> Arc<dyn Fft<f32>> {
+        if let Some(p) = self.plans.lock().get(&(len, dir)) {
+            return Arc::clone(p);
+        }
+        let plan = {
+            let mut planner = self.planner.lock();
+            match dir {
+                Dir::Fwd => planner.plan_fft_forward(len),
+                Dir::Inv => planner.plan_fft_inverse(len),
+            }
+        };
+        self.plans
+            .lock()
+            .entry((len, dir))
+            .or_insert_with(|| Arc::clone(&plan));
+        plan
+    }
+
+    /// Number of distinct 1D plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.lock().len()
+    }
+
+    fn transform_axis(&self, t: &mut CImage, axis: Axis, dir: Dir) {
+        let shape = t.shape();
+        let len = shape[axis as usize];
+        if len == 1 {
+            return; // a length-1 DFT is the identity
+        }
+        let plan = self.plan(len, dir);
+        let mut scratch = vec![Complex32::default(); plan.get_inplace_scratch_len()];
+        if axis == Axis::Z {
+            // contiguous lines: process the whole buffer in chunks of len
+            plan.process_with_scratch(t.as_mut_slice(), &mut scratch);
+            return;
+        }
+        let spec = LineSpec::new(shape, axis);
+        let mut buf = vec![Complex32::default(); spec.len];
+        for i in 0..spec.count {
+            spec.read_line(t, i, &mut buf);
+            plan.process_with_scratch(&mut buf, &mut scratch);
+            spec.write_line(t, i, &buf);
+        }
+    }
+
+    /// In-place forward 3D FFT (unnormalized, like fftw/MKL).
+    pub fn fft3(&self, t: &mut CImage) {
+        for axis in Axis::ALL {
+            self.transform_axis(t, axis, Dir::Fwd);
+        }
+    }
+
+    /// In-place inverse 3D FFT, normalized so `ifft3(fft3(x)) == x`.
+    pub fn ifft3(&self, t: &mut CImage) {
+        for axis in Axis::ALL {
+            self.transform_axis(t, axis, Dir::Inv);
+        }
+        ops::scale_c(t, 1.0 / t.len() as f32);
+    }
+
+    /// The forward transform of the staged convolution API: zero-pads a
+    /// real image to `shape` (placing it at the origin) and transforms.
+    ///
+    /// This is the per-node transform that convergent edges share (§IV).
+    pub fn forward_padded(&self, img: &Image, shape: Vec3) -> CImage {
+        assert!(
+            img.shape().le(shape),
+            "image {} does not fit transform shape {shape}",
+            img.shape()
+        );
+        let mut c = if img.shape() == shape {
+            ops::to_complex(img)
+        } else {
+            ops::to_complex(&znn_tensor::pad::pad(img, shape, Vec3::zero()))
+        };
+        self.fft3(&mut c);
+        c
+    }
+
+    /// The inverse stage: transforms a frequency-domain accumulator back
+    /// and extracts the real box of `shape` at `at` — the crop that turns
+    /// circular convolution into valid/full linear convolution.
+    pub fn inverse_real(&self, mut spec: CImage, at: Vec3, shape: Vec3) -> Image {
+        self.ifft3(&mut spec);
+        let real = ops::to_real(&spec);
+        if at == Vec3::zero() && shape == real.shape() {
+            real
+        } else {
+            znn_tensor::pad::crop(&real, at, shape)
+        }
+    }
+}
+
+impl Default for FftEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(n²) reference DFT along one axis for validation.
+    fn dft_axis_naive(t: &CImage, axis: Axis, inverse: bool) -> CImage {
+        let shape = t.shape();
+        let n = shape[axis as usize];
+        let sign = if inverse { 1.0 } else { -1.0 };
+        let mut out = t.clone();
+        let spec = LineSpec::new(shape, axis);
+        let mut line = vec![Complex32::default(); n];
+        for i in 0..spec.count {
+            spec.read_line(t, i, &mut line);
+            let mut res = vec![Complex32::default(); n];
+            for (k, r) in res.iter_mut().enumerate() {
+                for (j, &v) in line.iter().enumerate() {
+                    let ang = sign * 2.0 * std::f32::consts::PI * (k * j) as f32 / n as f32;
+                    *r += v * Complex32::new(ang.cos(), ang.sin());
+                }
+            }
+            spec.write_line(&mut out, i, &res);
+        }
+        out
+    }
+
+    fn dft3_naive(t: &CImage) -> CImage {
+        let mut out = t.clone();
+        for axis in Axis::ALL {
+            out = dft_axis_naive(&out, axis, false);
+        }
+        out
+    }
+
+    fn max_cdiff(a: &CImage, b: &CImage) -> f32 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y).norm())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn fft3_matches_naive_dft_on_odd_shapes() {
+        for shape in [Vec3::new(4, 3, 5), Vec3::new(1, 8, 2), Vec3::cube(6)] {
+            let img = ops::random(shape, 11);
+            let mut c = ops::to_complex(&img);
+            let engine = FftEngine::new();
+            engine.fft3(&mut c);
+            let reference = dft3_naive(&ops::to_complex(&img));
+            assert!(
+                max_cdiff(&c, &reference) < 1e-3,
+                "mismatch on {shape}: {}",
+                max_cdiff(&c, &reference)
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let engine = FftEngine::new();
+        for shape in [Vec3::new(8, 4, 6), Vec3::new(1, 16, 16), Vec3::cube(5)] {
+            let img = ops::random(shape, 3);
+            let mut c = ops::to_complex(&img);
+            engine.fft3(&mut c);
+            engine.ifft3(&mut c);
+            let back = ops::to_real(&c);
+            assert!(back.max_abs_diff(&img) < 1e-5, "round trip failed {shape}");
+        }
+    }
+
+    #[test]
+    fn dc_bin_is_total_mass() {
+        let engine = FftEngine::new();
+        let img = ops::random(Vec3::cube(4), 9);
+        let mut c = ops::to_complex(&img);
+        engine.fft3(&mut c);
+        let dc = c.at((0, 0, 0));
+        assert!((dc.re - img.sum()).abs() < 1e-4);
+        assert!(dc.im.abs() < 1e-4);
+    }
+
+    #[test]
+    fn plans_are_cached_per_length_and_direction() {
+        let engine = FftEngine::new();
+        let mut a = ops::to_complex(&ops::random(Vec3::cube(8), 1));
+        engine.fft3(&mut a);
+        // one length (8) appears for all three axes -> 1 forward plan
+        assert_eq!(engine.cached_plans(), 1);
+        engine.ifft3(&mut a);
+        assert_eq!(engine.cached_plans(), 2);
+        let mut b = ops::to_complex(&ops::random(Vec3::new(4, 8, 16), 1));
+        engine.fft3(&mut b);
+        assert_eq!(engine.cached_plans(), 4); // +4 fwd, 8 already cached
+    }
+
+    #[test]
+    fn unit_axes_are_identity() {
+        // 2D images (leading axis 1) must transform exactly like 2D FFTs
+        let engine = FftEngine::new();
+        let img = ops::random(Vec3::flat(4, 4), 5);
+        let mut c = ops::to_complex(&img);
+        engine.fft3(&mut c);
+        let reference = dft3_naive(&ops::to_complex(&img));
+        assert!(max_cdiff(&c, &reference) < 1e-3);
+    }
+
+    #[test]
+    fn forward_padded_equals_manual_pad_then_fft() {
+        let engine = FftEngine::new();
+        let img = ops::random(Vec3::cube(3), 2);
+        let shape = Vec3::cube(8);
+        let a = engine.forward_padded(&img, shape);
+        let mut b = ops::to_complex(&znn_tensor::pad::pad(&img, shape, Vec3::zero()));
+        engine.fft3(&mut b);
+        assert!(max_cdiff(&a, &b) == 0.0);
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        let engine = std::sync::Arc::new(FftEngine::new());
+        let handles: Vec<_> = (0..4)
+            .map(|seed| {
+                let engine = std::sync::Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    let img = ops::random(Vec3::cube(8), seed);
+                    let mut c = ops::to_complex(&img);
+                    engine.fft3(&mut c);
+                    engine.ifft3(&mut c);
+                    assert!(ops::to_real(&c).max_abs_diff(&img) < 1e-5);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

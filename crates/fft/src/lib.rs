@@ -1,0 +1,34 @@
+//! 3D FFT and frequency-domain convolution machinery (ZNN paper §IV).
+//!
+//! ZNN chooses per layer between direct and FFT convolution. The FFT
+//! path wins for ConvNets earlier than for single convolutions because
+//! the transform of an image at a node is **shared** by every edge at
+//! that node, and transforms computed in the forward pass are
+//! **memoized** for the backward and update passes (Table II). This
+//! crate provides the pieces that make that sharing expressible:
+//!
+//! * [`FftEngine`] — a 3D complex FFT decomposed into per-axis 1D
+//!   transforms, with a cache of [`rustfft`] plans keyed by line length,
+//! * [`good_size`] / [`good_shape`] — 5-smooth transform sizes,
+//! * padded forward transforms and crop-on-inverse helpers that give
+//!   *valid* and *full* linear convolution semantics on top of the
+//!   circular convolution the FFT computes,
+//! * a staged API (`forward_padded` → pointwise multiply-accumulate in
+//!   `znn_tensor::ops` → `inverse_real`) so callers can accumulate
+//!   convergent convolutions **in the frequency domain** and pay one
+//!   inverse transform per node rather than one per edge — exactly the
+//!   `f' + f + f'·f` term structure of Table II.
+//!
+//! The paper used MKL/fftw; `rustfft` replaces them (see DESIGN.md —
+//! same asymptotics, different constant).
+
+#![warn(missing_docs)]
+
+mod conv;
+mod engine;
+mod size;
+pub mod spectra;
+
+pub use conv::{fft_conv_full, fft_conv_valid, fft_xcorr_valid};
+pub use engine::FftEngine;
+pub use size::{good_shape, good_size};

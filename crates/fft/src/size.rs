@@ -1,0 +1,80 @@
+//! Transform-size selection.
+//!
+//! Mixed-radix FFTs are fastest on sizes whose prime factors are small.
+//! ZNN pads transforms up to the next 5-smooth size (factors 2, 3, 5) —
+//! the same policy fftw's `fftw_next_fast_size` uses minus the factor 7,
+//! which `rustfft` does not special-case as heavily.
+
+use znn_tensor::Vec3;
+
+/// True when `n` has no prime factor larger than 5.
+pub(crate) fn is_smooth(mut n: usize) -> bool {
+    if n == 0 {
+        return false;
+    }
+    for p in [2usize, 3, 5] {
+        while n.is_multiple_of(p) {
+            n /= p;
+        }
+    }
+    n == 1
+}
+
+/// The smallest 5-smooth integer `>= n`. `good_size(0) == 1`.
+pub fn good_size(n: usize) -> usize {
+    let mut m = n.max(1);
+    while !is_smooth(m) {
+        m += 1;
+    }
+    m
+}
+
+/// Applies [`good_size`] to every axis.
+pub fn good_shape(s: Vec3) -> Vec3 {
+    Vec3::new(good_size(s[0]), good_size(s[1]), good_size(s[2]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_good_sizes_match_known_table() {
+        let expect = [1, 1, 2, 3, 4, 5, 6, 8, 8, 9, 10, 12, 12, 15, 15, 15, 16];
+        for (n, &e) in expect.iter().enumerate() {
+            assert_eq!(good_size(n), e, "good_size({n})");
+        }
+        assert_eq!(good_size(17), 18);
+        assert_eq!(good_size(97), 100);
+        assert_eq!(good_size(101), 108);
+    }
+
+    #[test]
+    fn good_sizes_are_smooth_and_minimal() {
+        for n in 1..2000 {
+            let g = good_size(n);
+            assert!(g >= n && is_smooth(g));
+            // minimality: nothing smooth in [n, g)
+            for m in n..g {
+                assert!(!is_smooth(m));
+            }
+        }
+    }
+
+    #[test]
+    fn padding_overhead_is_bounded() {
+        // 5-smooth numbers are dense enough that padding never doubles
+        // the size for realistic image extents.
+        for n in 2..4096 {
+            assert!(good_size(n) < 2 * n, "overhead >= 2x at {n}");
+        }
+    }
+
+    #[test]
+    fn good_shape_is_per_axis() {
+        assert_eq!(
+            good_shape(Vec3::new(7, 11, 1)),
+            Vec3::new(8, 12, 1)
+        );
+    }
+}

@@ -1,0 +1,380 @@
+//! Layered network builder and the paper's benchmark architectures.
+//!
+//! The experiments all use layered, fully-connected architectures
+//! described by strings like `CTMCTMCTCT`: **C**onvolution layers (all
+//! `f·f′` node pairs connected), **T**ransfer layers (one edge per
+//! node) and **M**ax-filtering / **P**ooling layers (one edge per
+//! node). [`NetBuilder`] assembles such networks — and, following
+//! §II-A, automatically increases convolution sparsity after each
+//! max-filtering layer (the skip-kernel / filter-rarefaction trick),
+//! while also allowing the sparsity to be set manually ("the sparsity
+//! of convolution need not increase in lock step with max-filtering").
+
+use crate::graph::{EdgeOp, Graph, GraphError, NodeId};
+use znn_ops::Transfer;
+use znn_tensor::Vec3;
+
+/// Kinds of layers a built network records, for diagnostics and cost
+/// models.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LayerKind {
+    /// Fully-connected convolution layer.
+    Conv {
+        /// Kernel shape.
+        kernel: Vec3,
+        /// Sparsity in effect.
+        sparsity: Vec3,
+    },
+    /// Transfer layer.
+    Transfer(Transfer),
+    /// Max-pooling layer.
+    MaxPool(Vec3),
+    /// Max-filtering layer (window, dilation).
+    MaxFilter(Vec3, Vec3),
+}
+
+/// Description of one built layer.
+#[derive(Clone, Debug)]
+pub struct LayerDesc {
+    /// What the layer does.
+    pub kind: LayerKind,
+    /// Number of nodes after the layer.
+    pub width: usize,
+}
+
+/// Metadata returned alongside the built [`Graph`].
+#[derive(Clone, Debug)]
+pub struct NetInfo {
+    /// The input nodes.
+    pub inputs: Vec<NodeId>,
+    /// The output nodes.
+    pub outputs: Vec<NodeId>,
+    /// Layer-by-layer description.
+    pub layers: Vec<LayerDesc>,
+}
+
+/// Incremental builder for layered ConvNets.
+pub struct NetBuilder {
+    graph: Graph,
+    name: String,
+    current: Vec<NodeId>,
+    sparsity: Vec3,
+    layers: Vec<LayerDesc>,
+    inputs: Vec<NodeId>,
+}
+
+impl NetBuilder {
+    /// Starts a network with `input_width` input nodes.
+    pub fn new(name: impl Into<String>, input_width: usize) -> Self {
+        assert!(input_width >= 1);
+        let name = name.into();
+        let mut graph = Graph::new();
+        let current: Vec<NodeId> = (0..input_width)
+            .map(|i| graph.add_node(format!("{name}/in/{i}")))
+            .collect();
+        NetBuilder {
+            graph,
+            name,
+            inputs: current.clone(),
+            current,
+            sparsity: Vec3::one(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// The sparsity applied to subsequent convolutions.
+    pub fn sparsity(&self) -> Vec3 {
+        self.sparsity
+    }
+
+    /// Overrides the sparsity for subsequent convolutions (§II-A:
+    /// sparsity "can be controlled independently").
+    pub fn set_sparsity(mut self, s: Vec3) -> Self {
+        assert!(s[0] >= 1 && s[1] >= 1 && s[2] >= 1);
+        self.sparsity = s;
+        self
+    }
+
+    /// Adds a fully-connected convolution layer of `width` nodes with
+    /// the given kernel shape at the current sparsity.
+    pub fn conv(mut self, width: usize, kernel: Vec3) -> Self {
+        assert!(width >= 1);
+        let li = self.layers.len();
+        let next: Vec<NodeId> = (0..width)
+            .map(|i| self.graph.add_node(format!("{}/l{li}c/{i}", self.name)))
+            .collect();
+        for &from in &self.current {
+            for &to in &next {
+                self.graph.add_edge(
+                    from,
+                    to,
+                    EdgeOp::Conv {
+                        kernel,
+                        sparsity: self.sparsity,
+                    },
+                );
+            }
+        }
+        self.layers.push(LayerDesc {
+            kind: LayerKind::Conv {
+                kernel,
+                sparsity: self.sparsity,
+            },
+            width,
+        });
+        self.current = next;
+        self
+    }
+
+    /// Adds a transfer layer (one edge per node).
+    pub fn transfer(mut self, f: Transfer) -> Self {
+        let li = self.layers.len();
+        let next: Vec<NodeId> = (0..self.current.len())
+            .map(|i| self.graph.add_node(format!("{}/l{li}t/{i}", self.name)))
+            .collect();
+        for (&from, &to) in self.current.iter().zip(&next) {
+            self.graph
+                .add_edge(from, to, EdgeOp::Transfer { function: f });
+        }
+        self.layers.push(LayerDesc {
+            kind: LayerKind::Transfer(f),
+            width: next.len(),
+        });
+        self.current = next;
+        self
+    }
+
+    /// Adds a max-pooling layer (one edge per node). Pooling shrinks
+    /// resolution; it does *not* change the sparsity bookkeeping.
+    pub fn max_pool(mut self, p: Vec3) -> Self {
+        let li = self.layers.len();
+        let next: Vec<NodeId> = (0..self.current.len())
+            .map(|i| self.graph.add_node(format!("{}/l{li}p/{i}", self.name)))
+            .collect();
+        for (&from, &to) in self.current.iter().zip(&next) {
+            self.graph.add_edge(from, to, EdgeOp::MaxPool { window: p });
+        }
+        self.layers.push(LayerDesc {
+            kind: LayerKind::MaxPool(p),
+            width: next.len(),
+        });
+        self.current = next;
+        self
+    }
+
+    /// Adds a max-filtering layer at the current sparsity and then — the
+    /// lock-step default of §II-A — multiplies the sparsity of
+    /// subsequent convolutions by the window size.
+    pub fn max_filter(mut self, window: Vec3) -> Self {
+        let s = self.sparsity;
+        self = self.max_filter_sparse(window, s);
+        self.sparsity = self.sparsity * window;
+        self
+    }
+
+    /// Adds a max-filtering layer with an explicit window dilation and
+    /// no sparsity bookkeeping — the manual-control escape hatch.
+    pub fn max_filter_sparse(mut self, window: Vec3, dilation: Vec3) -> Self {
+        let li = self.layers.len();
+        let next: Vec<NodeId> = (0..self.current.len())
+            .map(|i| self.graph.add_node(format!("{}/l{li}m/{i}", self.name)))
+            .collect();
+        for (&from, &to) in self.current.iter().zip(&next) {
+            self.graph.add_edge(
+                from,
+                to,
+                EdgeOp::MaxFilter {
+                    window,
+                    sparsity: dilation,
+                },
+            );
+        }
+        self.layers.push(LayerDesc {
+            kind: LayerKind::MaxFilter(window, dilation),
+            width: next.len(),
+        });
+        self.current = next;
+        self
+    }
+
+    /// Finishes the network, validating its structure.
+    pub fn build(self) -> Result<(Graph, NetInfo), GraphError> {
+        self.graph.validate()?;
+        let outputs = self.current.clone();
+        Ok((
+            self.graph,
+            NetInfo {
+                inputs: self.inputs,
+                outputs,
+                layers: self.layers,
+            },
+        ))
+    }
+}
+
+/// The 3D scalability network of §VIII: `CTMCTMCTCT` with 3³ kernels,
+/// rectified-linear transfers and two 2³ max-filter layers; the paper
+/// trains it with a 12³ output patch.
+pub fn scalability_net_3d(width: usize) -> (Graph, NetInfo) {
+    NetBuilder::new("fig5-3d", 1)
+        .conv(width, Vec3::cube(3))
+        .transfer(Transfer::Relu)
+        .max_filter(Vec3::cube(2))
+        .conv(width, Vec3::cube(3))
+        .transfer(Transfer::Relu)
+        .max_filter(Vec3::cube(2))
+        .conv(width, Vec3::cube(3))
+        .transfer(Transfer::Relu)
+        .conv(1, Vec3::cube(3))
+        .transfer(Transfer::Logistic)
+        .build()
+        .expect("paper architecture is valid")
+}
+
+/// The 2D scalability network of §VIII: `CTMCTMCTCTCTCT` with 11²
+/// kernels and two 2² max-filter layers; output patch 48².
+pub fn scalability_net_2d(width: usize) -> (Graph, NetInfo) {
+    let k = Vec3::flat(11, 11);
+    let m = Vec3::flat(2, 2);
+    NetBuilder::new("fig5-2d", 1)
+        .conv(width, k)
+        .transfer(Transfer::Relu)
+        .max_filter(m)
+        .conv(width, k)
+        .transfer(Transfer::Relu)
+        .max_filter(m)
+        .conv(width, k)
+        .transfer(Transfer::Relu)
+        .conv(width, k)
+        .transfer(Transfer::Relu)
+        .conv(width, k)
+        .transfer(Transfer::Relu)
+        .conv(1, k)
+        .transfer(Transfer::Logistic)
+        .build()
+        .expect("paper architecture is valid")
+}
+
+/// The §IX CPU-vs-GPU comparison network: `CTPCTPCTCTCTCT`, six
+/// fully-connected convolution layers of the given width and kernel.
+/// `sparse` selects the ZNN formulation (max-filter + skip kernels,
+/// "sparse training"); dense selects plain max-pooling as used by the
+/// GPU baselines.
+pub fn comparison_net(width: usize, kernel: Vec3, pool: Vec3, sparse: bool) -> (Graph, NetInfo) {
+    let mut b = NetBuilder::new(if sparse { "fig89-znn" } else { "fig89-base" }, 1);
+    for layer in 0..6 {
+        let w = if layer == 5 { 1 } else { width };
+        b = b.conv(w, kernel).transfer(Transfer::Relu);
+        if layer < 2 {
+            b = if sparse {
+                b.max_filter(pool)
+            } else {
+                b.max_pool(pool)
+            };
+        }
+    }
+    b.build().expect("paper architecture is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+
+    #[test]
+    fn fully_connected_layer_has_f_times_fprime_edges() {
+        let (g, info) = NetBuilder::new("t", 3)
+            .conv(5, Vec3::cube(3))
+            .build()
+            .unwrap();
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(info.inputs.len(), 3);
+        assert_eq!(info.outputs.len(), 5);
+    }
+
+    #[test]
+    fn max_filter_bumps_sparsity_lock_step() {
+        let b = NetBuilder::new("t", 1)
+            .conv(2, Vec3::cube(3))
+            .max_filter(Vec3::cube(2));
+        assert_eq!(b.sparsity(), Vec3::cube(2));
+        let b = b.max_filter(Vec3::cube(2));
+        assert_eq!(b.sparsity(), Vec3::cube(4));
+    }
+
+    #[test]
+    fn manual_sparsity_control_is_independent() {
+        let b = NetBuilder::new("t", 1)
+            .max_filter_sparse(Vec3::cube(2), Vec3::one());
+        assert_eq!(b.sparsity(), Vec3::one());
+        let b = b.set_sparsity(Vec3::new(1, 3, 3));
+        assert_eq!(b.sparsity(), Vec3::new(1, 3, 3));
+    }
+
+    #[test]
+    fn scalability_net_3d_has_paper_structure() {
+        let w = 4;
+        let (g, info) = scalability_net_3d(w);
+        // edges: w + w² + w² + w convs, 3w+1 transfers, 2w filters
+        let conv_edges = w + w * w + w * w + w;
+        let transfer_edges = 3 * w + 1;
+        let filter_edges = 2 * w;
+        assert_eq!(g.edge_count(), conv_edges + transfer_edges + filter_edges);
+        assert_eq!(info.outputs.len(), 1);
+        // field of view: convs at sparsities 1,2,4,4 contribute
+        // 2·(1+2+4+4) = 22; filters at dilations 1,2 contribute 3;
+        // so a 12³ output patch needs a (12+25)³ = 37³ input
+        let input = shapes::required_input_shape(&g, Vec3::cube(12)).unwrap();
+        assert_eq!(input, Vec3::cube(37));
+    }
+
+    #[test]
+    fn scalability_net_2d_is_flat() {
+        let (g, _) = scalability_net_2d(3);
+        let input = shapes::required_input_shape(&g, Vec3::flat(48, 48)).unwrap();
+        assert_eq!(input[0], 1, "2D networks stay flat");
+        let inferred = shapes::infer_shapes(&g, input).unwrap();
+        for (_, s) in inferred {
+            assert_eq!(s[0], 1);
+        }
+    }
+
+    #[test]
+    fn comparison_net_variants_share_conv_structure() {
+        let (sparse, _) = comparison_net(3, Vec3::flat(5, 5), Vec3::flat(2, 2), true);
+        let (dense, _) = comparison_net(3, Vec3::flat(5, 5), Vec3::flat(2, 2), false);
+        assert_eq!(sparse.edge_count(), dense.edge_count());
+        let n_filter = sparse
+            .edges()
+            .iter()
+            .filter(|e| matches!(e.op, EdgeOp::MaxFilter { .. }))
+            .count();
+        let n_pool = dense
+            .edges()
+            .iter()
+            .filter(|e| matches!(e.op, EdgeOp::MaxPool { .. }))
+            .count();
+        assert_eq!(n_filter, n_pool);
+        assert!(n_filter > 0);
+    }
+
+    #[test]
+    fn max_filter_nets_preserve_resolution() {
+        // §II-A: "unlike max-pooling, max-filtering does not decrease the
+        // resolution" — the sparse net accepts any input one voxel larger
+        // and produces one more output voxel (stride-1 dense output),
+        // while the pooling net is pinned to the block lattice.
+        let k = Vec3::flat(3, 3);
+        let p = Vec3::flat(2, 2);
+        let (sparse, _) = comparison_net(2, k, p, true);
+        let (dense, _) = comparison_net(2, k, p, false);
+        let si = shapes::required_input_shape(&sparse, Vec3::flat(4, 4)).unwrap();
+        let di = shapes::required_input_shape(&dense, Vec3::flat(4, 4)).unwrap();
+        // growing the sparse input by 1 grows the output by 1
+        let plus = shapes::infer_shapes(&sparse, si + Vec3::new(0, 1, 1)).unwrap();
+        let out_node = sparse.outputs()[0];
+        assert_eq!(plus[&out_node], Vec3::flat(5, 5));
+        // growing the dense input by 1 breaks pooling divisibility
+        assert!(shapes::infer_shapes(&dense, di + Vec3::new(0, 1, 1)).is_err());
+    }
+}

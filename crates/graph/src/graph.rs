@@ -1,0 +1,415 @@
+use std::fmt;
+use znn_ops::Transfer;
+use znn_tensor::Vec3;
+
+/// Index of a node (a 3D image) in a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub usize);
+
+/// Index of an edge (a filtering operation) in a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct EdgeId(pub usize);
+
+/// The four edge operations of §II.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EdgeOp {
+    /// Valid convolution with a trainable kernel, optionally sparse
+    /// ("skip kernels").
+    Conv {
+        /// Kernel shape `k`.
+        kernel: Vec3,
+        /// Per-axis sparsity `s` (1 = dense).
+        sparsity: Vec3,
+    },
+    /// Max-pooling over disjoint blocks.
+    MaxPool {
+        /// Block shape `p`; must divide the input shape.
+        window: Vec3,
+    },
+    /// Sliding-window max-filtering, optionally with a dilated window.
+    MaxFilter {
+        /// Window shape `k`.
+        window: Vec3,
+        /// Per-axis window dilation.
+        sparsity: Vec3,
+    },
+    /// Trainable bias followed by a pointwise nonlinearity.
+    Transfer {
+        /// The nonlinearity.
+        function: Transfer,
+    },
+}
+
+impl EdgeOp {
+    /// True for edges with trainable parameters (convolutions train a
+    /// kernel, transfer edges train a bias).
+    pub fn is_trainable(&self) -> bool {
+        matches!(self, EdgeOp::Conv { .. } | EdgeOp::Transfer { .. })
+    }
+
+    /// Output shape given the input shape, or `None` when the op does
+    /// not fit (kernel larger than image, indivisible pooling).
+    pub fn output_shape(&self, input: Vec3) -> Option<Vec3> {
+        match *self {
+            EdgeOp::Conv { kernel, sparsity } => input.valid_conv(kernel.dilated(sparsity)),
+            EdgeOp::MaxPool { window } => input.pooled(window),
+            EdgeOp::MaxFilter { window, sparsity } => {
+                input.valid_conv(window.dilated(sparsity))
+            }
+            EdgeOp::Transfer { .. } => Some(input),
+        }
+    }
+
+    /// Input shape needed to produce `output` — the inverse of
+    /// [`EdgeOp::output_shape`], used to size input patches (§II-A).
+    pub fn required_input_shape(&self, output: Vec3) -> Vec3 {
+        match *self {
+            EdgeOp::Conv { kernel, sparsity } => output.full_conv(kernel.dilated(sparsity)),
+            EdgeOp::MaxPool { window } => output * window,
+            EdgeOp::MaxFilter { window, sparsity } => {
+                output.full_conv(window.dilated(sparsity))
+            }
+            EdgeOp::Transfer { .. } => output,
+        }
+    }
+}
+
+/// A node: a 3D image produced by summing its incoming edges.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Human-readable name (layer/index), used in diagnostics.
+    pub name: String,
+    /// Incoming edges (their outputs are summed, §II).
+    pub in_edges: Vec<EdgeId>,
+    /// Outgoing edges.
+    pub out_edges: Vec<EdgeId>,
+}
+
+/// An edge: a filtering operation between two nodes.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// The operation.
+    pub op: EdgeOp,
+}
+
+/// Structural errors reported by [`Graph::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph contains a directed cycle through the named node.
+    Cycle(String),
+    /// The graph has no input nodes (every node has incoming edges).
+    NoInputs,
+    /// The graph has no output nodes.
+    NoOutputs,
+    /// A node mixes convolution and non-convolution incoming edges, or
+    /// has multiple non-convolution incoming edges — the paper requires
+    /// all convergent edges to be convolutions.
+    MixedConvergence(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Cycle(n) => write!(f, "cycle through node {n}"),
+            GraphError::NoInputs => write!(f, "graph has no input nodes"),
+            GraphError::NoOutputs => write!(f, "graph has no output nodes"),
+            GraphError::MixedConvergence(n) => {
+                write!(f, "node {n} has convergent non-convolution edges")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// The computation graph: a DAG of image nodes and filtering edges.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        self.nodes.push(Node {
+            name: name.into(),
+            in_edges: Vec::new(),
+            out_edges: Vec::new(),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds an edge and returns its id.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, op: EdgeOp) -> EdgeId {
+        assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len());
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge { from, to, op });
+        self.nodes[from.0].out_edges.push(id);
+        self.nodes[to.0].in_edges.push(id);
+        id
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Edge accessor.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.0]
+    }
+
+    /// All nodes, indexable by [`NodeId`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All edges, indexable by [`EdgeId`].
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Nodes with no incoming edges (the network inputs).
+    pub fn inputs(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].in_edges.is_empty())
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Nodes with no outgoing edges (the network outputs).
+    pub fn outputs(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].out_edges.is_empty())
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Topological order of nodes; errors on cycles.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>, GraphError> {
+        let mut indeg: Vec<usize> = self.nodes.iter().map(|n| n.in_edges.len()).collect();
+        let mut queue: Vec<NodeId> = self.inputs();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(n) = queue.pop() {
+            order.push(n);
+            for &e in &self.nodes[n.0].out_edges {
+                let t = self.edges[e.0].to;
+                indeg[t.0] -= 1;
+                if indeg[t.0] == 0 {
+                    queue.push(t);
+                }
+            }
+        }
+        if order.len() != self.nodes.len() {
+            let stuck = indeg
+                .iter()
+                .position(|&d| d > 0)
+                .map(|i| self.nodes[i].name.clone())
+                .unwrap_or_default();
+            return Err(GraphError::Cycle(stuck));
+        }
+        Ok(order)
+    }
+
+    /// Validates the structural requirements of §II: acyclic, has inputs
+    /// and outputs, and convergent edges are all convolutions.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.inputs().is_empty() {
+            return Err(GraphError::NoInputs);
+        }
+        if self.outputs().is_empty() {
+            return Err(GraphError::NoOutputs);
+        }
+        self.topo_order()?;
+        for node in &self.nodes {
+            if node.in_edges.len() > 1 {
+                let all_conv = node
+                    .in_edges
+                    .iter()
+                    .all(|&e| matches!(self.edges[e.0].op, EdgeOp::Conv { .. }));
+                if !all_conv {
+                    return Err(GraphError::MixedConvergence(node.name.clone()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total trainable parameter count (kernel voxels plus one bias per
+    /// transfer edge).
+    pub fn parameter_count(&self) -> usize {
+        self.edges
+            .iter()
+            .map(|e| match e.op {
+                EdgeOp::Conv { kernel, .. } => kernel.len(),
+                EdgeOp::Transfer { .. } => 1,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Graph {
+        // in -> (conv) -> h <- (conv) <- in2 ; h -> (transfer) -> out
+        let mut g = Graph::new();
+        let a = g.add_node("in");
+        let b = g.add_node("in2");
+        let h = g.add_node("h");
+        let o = g.add_node("out");
+        let conv = EdgeOp::Conv {
+            kernel: Vec3::cube(3),
+            sparsity: Vec3::one(),
+        };
+        g.add_edge(a, h, conv);
+        g.add_edge(b, h, conv);
+        g.add_edge(
+            h,
+            o,
+            EdgeOp::Transfer {
+                function: Transfer::Relu,
+            },
+        );
+        g
+    }
+
+    #[test]
+    fn inputs_and_outputs_are_detected() {
+        let g = tiny();
+        assert_eq!(g.inputs(), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(g.outputs(), vec![NodeId(3)]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = tiny();
+        let order = g.topo_order().unwrap();
+        let pos: Vec<usize> = (0..g.node_count())
+            .map(|i| order.iter().position(|n| n.0 == i).unwrap())
+            .collect();
+        for e in g.edges() {
+            assert!(pos[e.from.0] < pos[e.to.0]);
+        }
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let inp = g.add_node("in");
+        let out = g.add_node("out");
+        let t = EdgeOp::Transfer {
+            function: Transfer::Linear,
+        };
+        g.add_edge(a, b, t);
+        g.add_edge(b, a, t);
+        g.add_edge(inp, a, t);
+        g.add_edge(b, out, t);
+        assert!(matches!(g.validate(), Err(GraphError::Cycle(_))));
+    }
+
+    #[test]
+    fn mixed_convergence_is_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let h = g.add_node("h");
+        g.add_edge(
+            a,
+            h,
+            EdgeOp::Conv {
+                kernel: Vec3::one(),
+                sparsity: Vec3::one(),
+            },
+        );
+        g.add_edge(
+            b,
+            h,
+            EdgeOp::Transfer {
+                function: Transfer::Relu,
+            },
+        );
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::MixedConvergence(_))
+        ));
+    }
+
+    #[test]
+    fn op_shape_algebra_round_trips() {
+        let ops = [
+            EdgeOp::Conv {
+                kernel: Vec3::cube(3),
+                sparsity: Vec3::cube(2),
+            },
+            EdgeOp::MaxPool {
+                window: Vec3::cube(2),
+            },
+            EdgeOp::MaxFilter {
+                window: Vec3::cube(2),
+                sparsity: Vec3::cube(3),
+            },
+            EdgeOp::Transfer {
+                function: Transfer::Tanh,
+            },
+        ];
+        let out = Vec3::cube(12);
+        for op in ops {
+            let input = op.required_input_shape(out);
+            assert_eq!(op.output_shape(input), Some(out), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn trainability_matches_op_kind() {
+        assert!(EdgeOp::Conv {
+            kernel: Vec3::one(),
+            sparsity: Vec3::one()
+        }
+        .is_trainable());
+        assert!(EdgeOp::Transfer {
+            function: Transfer::Relu
+        }
+        .is_trainable());
+        assert!(!EdgeOp::MaxPool {
+            window: Vec3::one()
+        }
+        .is_trainable());
+        assert!(!EdgeOp::MaxFilter {
+            window: Vec3::one(),
+            sparsity: Vec3::one()
+        }
+        .is_trainable());
+    }
+
+    #[test]
+    fn parameter_count_sums_kernels_and_biases() {
+        let g = tiny();
+        assert_eq!(g.parameter_count(), 27 + 27 + 1);
+    }
+}

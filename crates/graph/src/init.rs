@@ -1,0 +1,116 @@
+//! Deterministic parameter initialization shared by every engine.
+//!
+//! The core task-parallel engine, the sequential reference engine and
+//! the layerwise baseline all initialize from the same (seed, edge)
+//! stream, so their outputs are bit-comparable in differential tests.
+
+use crate::graph::{EdgeId, EdgeOp, Graph};
+use znn_tensor::{ops, Image, Vec3};
+
+/// Initial kernel for a convolution edge: deterministic pseudo-random
+/// values scaled by `1/√(kernel volume)` (a fan-in-ish scale that keeps
+/// activations bounded in deep nets).
+pub fn kernel_init(seed: u64, edge: EdgeId, kernel: Vec3) -> Image {
+    let mut k = ops::random(kernel, seed ^ (0x9E37_79B9 + edge.0 as u64));
+    let scale = 1.0 / (kernel.len() as f32).sqrt();
+    ops::scale(&mut k, scale);
+    k
+}
+
+/// Initial bias for a transfer edge.
+pub fn bias_init(_seed: u64, _edge: EdgeId) -> f32 {
+    0.0
+}
+
+/// Snapshot of every trainable parameter of a graph, used to compare
+/// engines after training steps.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamSet {
+    /// Kernels by edge index (empty tensor for non-conv edges).
+    pub kernels: Vec<Option<Image>>,
+    /// Biases by edge index.
+    pub biases: Vec<Option<f32>>,
+}
+
+impl ParamSet {
+    /// The default initialization for `graph` under `seed`.
+    pub fn init(graph: &Graph, seed: u64) -> Self {
+        let mut kernels = Vec::with_capacity(graph.edge_count());
+        let mut biases = Vec::with_capacity(graph.edge_count());
+        for (i, e) in graph.edges().iter().enumerate() {
+            match e.op {
+                EdgeOp::Conv { kernel, .. } => {
+                    kernels.push(Some(kernel_init(seed, EdgeId(i), kernel)));
+                    biases.push(None);
+                }
+                EdgeOp::Transfer { .. } => {
+                    kernels.push(None);
+                    biases.push(Some(bias_init(seed, EdgeId(i))));
+                }
+                _ => {
+                    kernels.push(None);
+                    biases.push(None);
+                }
+            }
+        }
+        ParamSet { kernels, biases }
+    }
+
+    /// Maximum absolute difference across all parameters of two sets.
+    pub fn max_abs_diff(&self, other: &ParamSet) -> f32 {
+        let mut d = 0.0f32;
+        for (a, b) in self.kernels.iter().zip(&other.kernels) {
+            if let (Some(a), Some(b)) = (a, b) {
+                d = d.max(a.max_abs_diff(b));
+            }
+        }
+        for (a, b) in self.biases.iter().zip(&other.biases) {
+            if let (Some(a), Some(b)) = (a, b) {
+                d = d.max((a - b).abs());
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+    use znn_ops::Transfer;
+
+    #[test]
+    fn init_is_deterministic_and_seed_sensitive() {
+        let a = kernel_init(1, EdgeId(0), Vec3::cube(3));
+        let b = kernel_init(1, EdgeId(0), Vec3::cube(3));
+        let c = kernel_init(2, EdgeId(0), Vec3::cube(3));
+        let d = kernel_init(1, EdgeId(1), Vec3::cube(3));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn param_set_covers_trainable_edges_only() {
+        let (g, _) = NetBuilder::new("t", 1)
+            .conv(2, Vec3::cube(2))
+            .transfer(Transfer::Relu)
+            .max_filter_sparse(Vec3::cube(2), Vec3::one())
+            .build()
+            .unwrap();
+        let p = ParamSet::init(&g, 7);
+        let kernels = p.kernels.iter().flatten().count();
+        let biases = p.biases.iter().flatten().count();
+        assert_eq!(kernels, 2);
+        assert_eq!(biases, 2);
+    }
+
+    #[test]
+    fn kernel_scale_shrinks_with_volume() {
+        let small = kernel_init(3, EdgeId(0), Vec3::one());
+        let big = kernel_init(3, EdgeId(0), Vec3::cube(5));
+        let max_small = small.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let max_big = big.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(max_big < max_small);
+    }
+}

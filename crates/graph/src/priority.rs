@@ -1,0 +1,206 @@
+//! Task priorities from graph structure (paper §VI-A).
+//!
+//! The scheduler prefers tasks with the longest remaining path to a
+//! sink, which favours low-latency schedules, and breaks ties with a
+//! *unique strict ordering* of nodes so that tasks whose outputs
+//! accumulate into the same sum run near each other in time (temporal
+//! locality → the partial sum stays in cache).
+//!
+//! Concretely, the paper defines two strict orderings of the nodes by
+//! **longest distance, in decreasing order, to any output node** and
+//! **to any input node** respectively. The priority of an edge's
+//! forward task is the position of its *target* node in the first
+//! ordering; the priority of its backward task is the position of its
+//! *source* node in the second. Update tasks always use
+//! `UPDATE_PRIORITY` (handled by `znn-sched`).
+
+use crate::graph::{EdgeId, Graph};
+use std::collections::HashMap;
+
+/// Longest distance (in edges) from each node to any output node.
+pub fn distance_to_outputs(graph: &Graph) -> Vec<usize> {
+    let order = graph.topo_order().expect("graph must be acyclic");
+    let mut dist = vec![0usize; graph.node_count()];
+    for &n in order.iter().rev() {
+        for &e in &graph.node(n).in_edges {
+            let from = graph.edge(e).from;
+            dist[from.0] = dist[from.0].max(dist[n.0] + 1);
+        }
+    }
+    dist
+}
+
+/// Longest distance (in edges) from any input node to each node.
+pub fn distance_from_inputs(graph: &Graph) -> Vec<usize> {
+    let order = graph.topo_order().expect("graph must be acyclic");
+    let mut dist = vec![0usize; graph.node_count()];
+    for &n in order.iter() {
+        for &e in &graph.node(n).out_edges {
+            let to = graph.edge(e).to;
+            dist[to.0] = dist[to.0].max(dist[n.0] + 1);
+        }
+    }
+    dist
+}
+
+/// A strict total order of nodes: sorts by `key` descending, then by
+/// node id for uniqueness; returns each node's position.
+fn strict_positions(keys: &[usize]) -> Vec<u64> {
+    let mut idx: Vec<usize> = (0..keys.len()).collect();
+    idx.sort_by_key(|&i| (std::cmp::Reverse(keys[i]), i));
+    let mut pos = vec![0u64; keys.len()];
+    for (p, &i) in idx.iter().enumerate() {
+        pos[i] = p as u64;
+    }
+    pos
+}
+
+/// Priorities of forward tasks, keyed by edge: the position of the
+/// edge's **target** node in the ordering by distance-to-outputs
+/// (descending). Smaller = runs earlier, so nodes deep inside the
+/// network (far from outputs) are produced first.
+pub fn forward_priorities(graph: &Graph) -> HashMap<EdgeId, u64> {
+    let pos = strict_positions(&distance_to_outputs(graph));
+    graph
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (EdgeId(i), pos[e.to.0]))
+        .collect()
+}
+
+/// Priorities of backward tasks, keyed by edge: the position of the
+/// edge's **source** node in the ordering by distance-to-inputs
+/// (descending).
+pub fn backward_priorities(graph: &Graph) -> HashMap<EdgeId, u64> {
+    let pos = strict_positions(&distance_from_inputs(graph));
+    graph
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (EdgeId(i), pos[e.from.0]))
+        .collect()
+}
+
+/// Position of each node in the forward ordering — exposed for the
+/// simulator and diagnostics.
+pub fn forward_node_positions(graph: &Graph) -> Vec<u64> {
+    strict_positions(&distance_to_outputs(graph))
+}
+
+/// Position of each node in the backward ordering.
+pub fn backward_node_positions(graph: &Graph) -> Vec<u64> {
+    strict_positions(&distance_from_inputs(graph))
+}
+
+/// Convenience: has every node a distinct priority position?
+/// (Guaranteed by construction; used as a sanity check in tests.)
+pub fn is_strict(positions: &[u64]) -> bool {
+    let mut seen = vec![false; positions.len()];
+    for &p in positions {
+        if seen[p as usize] {
+            return false;
+        }
+        seen[p as usize] = true;
+    }
+    true
+}
+
+/// Marker re-export so callers need not depend on `znn-sched` just for
+/// the constant.
+pub use priority_consts::UPDATE_PRIORITY;
+mod priority_consts {
+    /// Mirror of `znn_sched::UPDATE_PRIORITY`.
+    pub const UPDATE_PRIORITY: u64 = u64::MAX;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+    use crate::graph::EdgeOp;
+    use znn_ops::Transfer;
+    use znn_tensor::Vec3;
+
+    fn diamond() -> Graph {
+        // in -> a, in -> b, a -> out, b -> out (all conv edges)
+        let mut g = Graph::new();
+        let i = g.add_node("in");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let o = g.add_node("out");
+        let c = EdgeOp::Conv {
+            kernel: Vec3::one(),
+            sparsity: Vec3::one(),
+        };
+        g.add_edge(i, a, c);
+        g.add_edge(i, b, c);
+        g.add_edge(a, o, c);
+        g.add_edge(b, o, c);
+        g
+    }
+
+    #[test]
+    fn distances_on_a_diamond() {
+        let g = diamond();
+        assert_eq!(distance_to_outputs(&g), vec![2, 1, 1, 0]);
+        assert_eq!(distance_from_inputs(&g), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn orderings_are_strict() {
+        let g = diamond();
+        assert!(is_strict(&forward_node_positions(&g)));
+        assert!(is_strict(&backward_node_positions(&g)));
+    }
+
+    #[test]
+    fn forward_priorities_run_deep_nodes_first() {
+        let g = diamond();
+        let p = forward_priorities(&g);
+        // edges into a/b (deep, distance 1) must run before edges into
+        // out (distance 0)
+        assert!(p[&EdgeId(0)] < p[&EdgeId(2)]);
+        assert!(p[&EdgeId(1)] < p[&EdgeId(3)]);
+    }
+
+    #[test]
+    fn convergent_edges_share_forward_priority() {
+        // temporal locality: both edges into `out` accumulate into one
+        // sum and must share a priority value
+        let g = diamond();
+        let p = forward_priorities(&g);
+        assert_eq!(p[&EdgeId(2)], p[&EdgeId(3)]);
+        let b = backward_priorities(&g);
+        // and both edges out of `in` share a backward priority
+        assert_eq!(b[&EdgeId(0)], b[&EdgeId(1)]);
+    }
+
+    #[test]
+    fn layered_net_priorities_are_layer_monotone() {
+        let (g, _) = NetBuilder::new("t", 1)
+            .conv(3, Vec3::cube(2))
+            .transfer(Transfer::Relu)
+            .conv(2, Vec3::cube(2))
+            .transfer(Transfer::Relu)
+            .build()
+            .unwrap();
+        let fwd = forward_priorities(&g);
+        let d = distance_to_outputs(&g);
+        // any edge whose target is deeper (larger distance-to-output)
+        // must have smaller priority than any edge whose target is
+        // shallower
+        for (i, a) in g.edges().iter().enumerate() {
+            for (j, b) in g.edges().iter().enumerate() {
+                if d[a.to.0] > d[b.to.0] {
+                    assert!(
+                        fwd[&EdgeId(i)] < fwd[&EdgeId(j)],
+                        "edge {i} (depth {}) vs {j} (depth {})",
+                        d[a.to.0],
+                        d[b.to.0]
+                    );
+                }
+            }
+        }
+    }
+}

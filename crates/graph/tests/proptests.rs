@@ -1,0 +1,148 @@
+//! Property tests over randomly generated DAGs: priority orderings,
+//! shape inference round trips, and task-graph structure.
+
+use proptest::prelude::*;
+use znn_graph::{priority, shapes, EdgeOp, Graph, TaskGraph, TaskKind};
+use znn_ops::Transfer;
+use znn_tensor::Vec3;
+
+/// Random layered DAG with conv-only convergence (the §II constraint).
+fn random_dag() -> impl Strategy<Value = Graph> {
+    (
+        proptest::collection::vec(1usize..4, 2..5), // widths
+        any::<u64>(),
+    )
+        .prop_map(|(widths, seed)| {
+            let mut g = Graph::new();
+            let mut rng = seed;
+            let mut next = || {
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (rng >> 33) as usize
+            };
+            let mut prev: Vec<_> = (0..widths[0])
+                .map(|i| g.add_node(format!("0/{i}")))
+                .collect();
+            for (l, &w) in widths.iter().enumerate().skip(1) {
+                let cur: Vec<_> = (0..w).map(|i| g.add_node(format!("{l}/{i}"))).collect();
+                for &to in &cur {
+                    for _ in 0..=(next() % 2) {
+                        let from = prev[next() % prev.len()];
+                        let op = if next() % 4 == 0 && g.node(to).in_edges.is_empty() {
+                            // sole in-edge may be nonlinear
+                            EdgeOp::Transfer {
+                                function: Transfer::Relu,
+                            }
+                        } else {
+                            EdgeOp::Conv {
+                                kernel: Vec3::cube(1 + next() % 2),
+                                sparsity: Vec3::one(),
+                            }
+                        };
+                        // keep convergence conv-only
+                        let convergent = !g.node(to).in_edges.is_empty();
+                        let op = if convergent {
+                            EdgeOp::Conv {
+                                kernel: Vec3::cube(1 + next() % 2),
+                                sparsity: Vec3::one(),
+                            }
+                        } else {
+                            op
+                        };
+                        // a transfer edge target must stay sole-input
+                        g.add_edge(from, to, op);
+                    }
+                }
+                prev = cur;
+            }
+            g
+        })
+        .prop_filter("valid", |g| g.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn orderings_are_strict_permutations(g in random_dag()) {
+        let fwd = priority::forward_node_positions(&g);
+        let bwd = priority::backward_node_positions(&g);
+        prop_assert!(priority::is_strict(&fwd));
+        prop_assert!(priority::is_strict(&bwd));
+        prop_assert_eq!(fwd.len(), g.node_count());
+        prop_assert_eq!(bwd.len(), g.node_count());
+    }
+
+    #[test]
+    fn deeper_nodes_run_earlier_forward(g in random_dag()) {
+        let d = priority::distance_to_outputs(&g);
+        let pos = priority::forward_node_positions(&g);
+        for a in 0..g.node_count() {
+            for b in 0..g.node_count() {
+                if d[a] > d[b] {
+                    prop_assert!(pos[a] < pos[b], "node {a} (d{}) vs {b} (d{})", d[a], d[b]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn task_graph_is_acyclic_and_complete(g in random_dag()) {
+        let tg = TaskGraph::build(&g);
+        prop_assert!(tg.is_acyclic());
+        let trainable = g.edges().iter().filter(|e| e.op.is_trainable()).count();
+        let expect = 2 * g.edge_count() + trainable + g.inputs().len() + g.outputs().len();
+        prop_assert_eq!(tg.len(), expect);
+        // every forward task of a trainable edge depends on its update
+        for t in &tg.tasks {
+            if let TaskKind::Forward(e) = t.kind {
+                if g.edge(e).op.is_trainable() {
+                    prop_assert!(t.deps.iter().any(|d| matches!(
+                        tg.tasks[d.0].kind,
+                        TaskKind::Update(ue) if ue == e
+                    )));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shape_inference_round_trips(g in random_dag(), out in 1usize..4) {
+        let out_shape = Vec3::cube(out);
+        let Ok(input) = shapes::required_input_shape(&g, out_shape) else {
+            return Ok(()); // e.g. pooling divisibility; not generated here
+        };
+        let Ok(inferred) = shapes::infer_shapes(&g, input) else {
+            // convergent paths with mismatched field of view: legal DAG,
+            // unsatisfiable shapes — required_input_shape's max() can't
+            // always fix convergence mismatches
+            return Ok(());
+        };
+        // every output node is at least as large as requested, and the
+        // bottleneck one is exactly out_shape
+        let mut exact = false;
+        for o in g.outputs() {
+            let s = inferred[&o];
+            prop_assert!(out_shape.le(s));
+            if s == out_shape {
+                exact = true;
+            }
+        }
+        prop_assert!(exact, "no output matches the requested shape");
+    }
+
+    #[test]
+    fn parameter_count_matches_manual_sum(g in random_dag()) {
+        let manual: usize = g
+            .edges()
+            .iter()
+            .map(|e| match e.op {
+                EdgeOp::Conv { kernel, .. } => kernel.len(),
+                EdgeOp::Transfer { .. } => 1,
+                _ => 0,
+            })
+            .sum();
+        prop_assert_eq!(g.parameter_count(), manual);
+    }
+}

@@ -1,0 +1,352 @@
+//! Max-filtering and its Jacobian (paper §II, §III-A).
+//!
+//! Max-filtering computes the maximum of a sliding `k³` window at every
+//! location, producing `n − s·(k−1)` voxels at window dilation `s` (the
+//! sparse windows that pair with skip-kernel convolutions in §II-A).
+//! Following the paper, 3D filtering is decomposed into sequential 1D
+//! filtering along each of the three axes.
+//!
+//! Two 1D algorithms are provided:
+//!
+//! * [`FilterImpl::Deque`] — a monotonic deque, O(1) amortized per
+//!   element (the default),
+//! * [`FilterImpl::Heap`] — the paper's ordered-window variant, O(log k)
+//!   per element ("for each array we keep a heap of size k"); kept for
+//!   the ablation benchmark.
+//!
+//! Both track, for every output voxel, the linear index of the winning
+//! *input* voxel, composed across the three passes, so the backward pass
+//! can scatter-accumulate gradients to the right place.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use znn_tensor::lines::{Axis, LineSpec};
+use znn_tensor::{Image, Tensor3, Vec3};
+
+/// Which 1D sliding-maximum algorithm to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FilterImpl {
+    /// Monotonic deque, O(n) per line.
+    #[default]
+    Deque,
+    /// Ordered multiset ("heap of size k"), O(n log k) per line — the
+    /// variant described in the paper.
+    Heap,
+}
+
+/// Result of a max-filter forward pass.
+pub struct FilterResult {
+    /// Filtered image of shape `n − s·(k−1)`.
+    pub output: Image,
+    /// For each output voxel, the linear index (into the original input)
+    /// of the voxel that supplied the maximum. Ties resolve to the
+    /// earliest voxel in scan order, deterministically.
+    pub argmax: Tensor3<u32>,
+}
+
+/// Total-order key for `f32` values (NaN-free inputs assumed; NaN sorts
+/// via `total_cmp` and stays deterministic anyway).
+#[derive(Clone, Copy, PartialEq)]
+struct OrdF32(f32);
+
+impl Eq for OrdF32 {}
+impl PartialOrd for OrdF32 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF32 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// 1D dilated sliding maximum over `(vals, idxs)`, writing `out_len`
+/// results. `which` selects the algorithm.
+fn line_max(
+    vals: &[f32],
+    idxs: &[u32],
+    k: usize,
+    s: usize,
+    out_vals: &mut [f32],
+    out_idxs: &mut [u32],
+    which: FilterImpl,
+) {
+    let n = vals.len();
+    let m = out_vals.len();
+    debug_assert_eq!(m, n - s * (k - 1));
+    if k == 1 {
+        out_vals.copy_from_slice(vals);
+        out_idxs.copy_from_slice(idxs);
+        return;
+    }
+    // Windows with the same residue o mod s slide over the subsequence
+    // vals[r], vals[r+s], ... — run the 1D algorithm per residue class.
+    for r in 0..s.min(m) {
+        let class_len = (n - r).div_ceil(s);
+        match which {
+            FilterImpl::Deque => {
+                // positions j index the subsequence a[j] = vals[r + j*s]
+                let mut dq: VecDeque<usize> = VecDeque::new();
+                for j in 0..class_len {
+                    let v = vals[r + j * s];
+                    // strict '<' keeps the earliest among equals in front
+                    while let Some(&b) = dq.back() {
+                        if vals[r + b * s] < v {
+                            dq.pop_back();
+                        } else {
+                            break;
+                        }
+                    }
+                    dq.push_back(j);
+                    // evict positions that fell out of the window
+                    // [j+1-k, j] for the next output
+                    if let Some(&f) = dq.front() {
+                        if f + k <= j {
+                            dq.pop_front();
+                        }
+                    }
+                    if j + 1 >= k {
+                        let o = r + (j + 1 - k) * s;
+                        if o < m {
+                            let f = *dq.front().expect("window is non-empty");
+                            out_vals[o] = vals[r + f * s];
+                            out_idxs[o] = idxs[r + f * s];
+                        }
+                    }
+                }
+            }
+            FilterImpl::Heap => {
+                // ordered multiset keyed on (value, Reverse(position)) so
+                // the greatest key is the max value with the earliest
+                // position — each element inserted and removed at most
+                // once, O(log k) each, as in the paper.
+                let mut set: BTreeMap<(OrdF32, std::cmp::Reverse<usize>), ()> = BTreeMap::new();
+                for j in 0..class_len {
+                    set.insert((OrdF32(vals[r + j * s]), std::cmp::Reverse(j)), ());
+                    if j >= k {
+                        set.remove(&(OrdF32(vals[r + (j - k) * s]), std::cmp::Reverse(j - k)));
+                    }
+                    if j + 1 >= k {
+                        let o = r + (j + 1 - k) * s;
+                        if o < m {
+                            let (&(v, std::cmp::Reverse(p)), _) =
+                                set.last_key_value().expect("window is non-empty");
+                            out_vals[o] = v.0;
+                            out_idxs[o] = idxs[r + p * s];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Max-filter forward pass with window `k` and per-axis dilation `s`.
+pub fn max_filter(img: &Image, k: Vec3, s: Vec3, which: FilterImpl) -> FilterResult {
+    let n = img.shape();
+    assert!(
+        k.dilated(s).le(n),
+        "window {k} at sparsity {s} larger than image {n}"
+    );
+    let mut vals = img.clone();
+    let mut idxs = Tensor3::<u32>::from_fn(n, |at| n.offset(at) as u32);
+    for axis in Axis::ALL {
+        let a = axis as usize;
+        if k[a] == 1 {
+            continue;
+        }
+        let cur = vals.shape();
+        let mut out_shape = cur;
+        out_shape[a] = cur[a] - s[a] * (k[a] - 1);
+        let in_spec = LineSpec::new(cur, axis);
+        let out_spec = LineSpec::new(out_shape, axis);
+        let mut next_vals = Tensor3::<f32>::zeros(out_shape);
+        let mut next_idxs = Tensor3::<u32>::zeros(out_shape);
+        let mut vbuf = vec![0.0f32; in_spec.len];
+        let mut ibuf = vec![0u32; in_spec.len];
+        let mut ovbuf = vec![0.0f32; out_spec.len];
+        let mut oibuf = vec![0u32; out_spec.len];
+        for i in 0..in_spec.count {
+            in_spec.read_line(&vals, i, &mut vbuf);
+            in_spec.read_line(&idxs, i, &mut ibuf);
+            line_max(&vbuf, &ibuf, k[a], s[a], &mut ovbuf, &mut oibuf, which);
+            out_spec.write_line(&mut next_vals, i, &ovbuf);
+            out_spec.write_line(&mut next_idxs, i, &oibuf);
+        }
+        vals = next_vals;
+        idxs = next_idxs;
+    }
+    FilterResult {
+        output: vals,
+        argmax: idxs,
+    }
+}
+
+/// Max-filter Jacobian: scatter-*accumulates* each output gradient voxel
+/// onto the input voxel that won its window (§III-A — unlike pooling,
+/// windows overlap, so one input voxel can receive many contributions).
+pub fn max_filter_backward(grad: &Image, argmax: &Tensor3<u32>, input_shape: Vec3) -> Image {
+    assert_eq!(grad.shape(), argmax.shape(), "gradient/argmax mismatch");
+    let mut out = Tensor3::<f32>::zeros(input_shape);
+    let out_data = out.as_mut_slice();
+    for (&g, &ix) in grad.as_slice().iter().zip(argmax.as_slice()) {
+        out_data[ix as usize] += g;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use znn_tensor::ops::{dot, random};
+    use znn_tensor::pad;
+
+    /// Brute-force dilated max filter with earliest-winner tie-breaks.
+    fn reference(img: &Image, k: Vec3, s: Vec3) -> FilterResult {
+        let n = img.shape();
+        let out_shape = n.valid_conv(k.dilated(s)).unwrap();
+        let mut output = Tensor3::<f32>::zeros(out_shape);
+        let mut argmax = Tensor3::<u32>::zeros(out_shape);
+        for o in out_shape.iter() {
+            let mut best = f32::NEG_INFINITY;
+            let mut best_at = 0u32;
+            for d in k.iter() {
+                let at = o + d * s;
+                let v = img.at(at);
+                if v > best {
+                    best = v;
+                    best_at = n.offset(at) as u32;
+                }
+            }
+            output[o] = best;
+            argmax[o] = best_at;
+        }
+        FilterResult { output, argmax }
+    }
+
+    #[test]
+    fn dense_filter_matches_brute_force_both_impls() {
+        for which in [FilterImpl::Deque, FilterImpl::Heap] {
+            for (n, k) in [
+                (Vec3::cube(6), Vec3::cube(2)),
+                (Vec3::new(5, 7, 9), Vec3::new(2, 3, 4)),
+                (Vec3::flat(10, 10), Vec3::flat(3, 3)),
+            ] {
+                let img = random(n, 41);
+                let got = max_filter(&img, k, Vec3::one(), which);
+                let want = reference(&img, k, Vec3::one());
+                assert_eq!(got.output, want.output, "{which:?} n={n} k={k}");
+                assert_eq!(got.argmax, want.argmax, "{which:?} n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_filter_matches_brute_force_both_impls() {
+        for which in [FilterImpl::Deque, FilterImpl::Heap] {
+            for s in [Vec3::cube(2), Vec3::new(1, 2, 3)] {
+                let n = Vec3::cube(11);
+                let k = Vec3::cube(3);
+                let img = random(n, 42);
+                let got = max_filter(&img, k, s, which);
+                let want = reference(&img, k, s);
+                assert_eq!(got.output, want.output, "{which:?} s={s}");
+                assert_eq!(got.argmax, want.argmax, "{which:?} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn ties_resolve_to_earliest_voxel() {
+        let img = Tensor3::filled(Vec3::new(1, 1, 5), 1.0f32);
+        for which in [FilterImpl::Deque, FilterImpl::Heap] {
+            let r = max_filter(&img, Vec3::new(1, 1, 3), Vec3::one(), which);
+            assert_eq!(r.argmax.as_slice(), &[0, 1, 2], "{which:?}");
+        }
+    }
+
+    #[test]
+    fn heap_and_deque_agree_on_adversarial_patterns() {
+        // monotone up, monotone down, sawtooth, constant
+        let patterns: Vec<Vec<f32>> = vec![
+            (0..20).map(|i| i as f32).collect(),
+            (0..20).map(|i| -(i as f32)).collect(),
+            (0..20).map(|i| (i % 3) as f32).collect(),
+            vec![2.5; 20],
+        ];
+        for p in patterns {
+            let img = Tensor3::from_vec(Vec3::new(1, 1, p.len()), p);
+            for k in [2usize, 3, 5] {
+                let a = max_filter(&img, Vec3::new(1, 1, k), Vec3::one(), FilterImpl::Deque);
+                let b = max_filter(&img, Vec3::new(1, 1, k), Vec3::one(), FilterImpl::Heap);
+                assert_eq!(a.output, b.output);
+                assert_eq!(a.argmax, b.argmax);
+            }
+        }
+    }
+
+    #[test]
+    fn max_pool_is_filter_sampled_on_the_block_lattice() {
+        // pooling with p equals max-filtering with window p sampled at
+        // stride p — the relationship behind Fig 2's equivalence
+        let img = random(Vec3::cube(8), 43);
+        let p = Vec3::cube(2);
+        let pooled = crate::pool::max_pool(&img, p);
+        let filtered = max_filter(&img, p, Vec3::one(), FilterImpl::Deque);
+        let sampled = pad::gather_strided(&filtered.output, Vec3::zero(), p, pooled.output.shape());
+        assert_eq!(sampled, pooled.output);
+    }
+
+    #[test]
+    fn backward_accumulates_overlapping_windows() {
+        // constant image: every window picks its first voxel; with k=2 the
+        // first voxel of the line gets 1 window, interior ones up to 1 —
+        // use a decreasing line so voxel 0 wins all windows it is in
+        let img = Tensor3::from_vec(Vec3::new(1, 1, 4), vec![9.0, 1.0, 0.5, 0.2]);
+        let r = max_filter(&img, Vec3::new(1, 1, 2), Vec3::one(), FilterImpl::Deque);
+        assert_eq!(r.output.as_slice(), &[9.0, 1.0, 0.5]);
+        let g = Tensor3::from_vec(Vec3::new(1, 1, 3), vec![1.0, 2.0, 4.0]);
+        let back = max_filter_backward(&g, &r.argmax, img.shape());
+        assert_eq!(back.as_slice(), &[1.0, 2.0, 4.0, 0.0]);
+        // mass is conserved
+        assert_eq!(back.sum(), g.sum());
+    }
+
+    #[test]
+    fn backward_is_jacobian_transpose() {
+        // values must be separated by more than the FD step so the
+        // perturbation cannot flip any window's argmax
+        let shape = Vec3::new(2, 5, 5);
+        let noise = random(shape, 44);
+        let x = Tensor3::from_fn(shape, |at| {
+            (shape.offset(at) as f32 * 0.137) % 7.0 + 0.01 * noise.at(at)
+        });
+        let k = Vec3::new(1, 2, 2);
+        let r = max_filter(&x, k, Vec3::one(), FilterImpl::Deque);
+        let g = random(r.output.shape(), 45);
+        let grad = max_filter_backward(&g, &r.argmax, x.shape());
+        let eps = 1e-3f32;
+        for at in [Vec3::new(0, 0, 0), Vec3::new(1, 2, 3), Vec3::new(1, 4, 4)] {
+            let mut xp = x.clone();
+            xp[at] += eps;
+            let mut xm = x.clone();
+            xm[at] -= eps;
+            let lp = dot(&max_filter(&xp, k, Vec3::one(), FilterImpl::Deque).output, &g);
+            let lm = dot(&max_filter(&xm, k, Vec3::one(), FilterImpl::Deque).output, &g);
+            let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (grad[at] - fd).abs() < 1e-2,
+                "at {at}: analytic {} vs fd {fd}",
+                grad[at]
+            );
+        }
+    }
+
+    #[test]
+    fn unit_window_is_identity() {
+        let img = random(Vec3::cube(4), 46);
+        let r = max_filter(&img, Vec3::one(), Vec3::one(), FilterImpl::Deque);
+        assert_eq!(r.output, img);
+    }
+}

@@ -1,0 +1,154 @@
+//! Loss functions (paper §III, step 3).
+//!
+//! The paper implements "several possibilities for the loss function,
+//! such as the Euclidean distance between the actual and desired
+//! outputs". We provide the squared Euclidean loss, binary
+//! cross-entropy for logistic outputs, and a hinge-style margin loss,
+//! each with its gradient with respect to the network output.
+
+use znn_tensor::Image;
+
+/// A loss over one output image (multi-output networks sum per-node
+/// losses).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Loss {
+    /// `½ Σ (y − t)²` — the paper's Euclidean distance.
+    #[default]
+    Mse,
+    /// `−Σ [t·ln y + (1−t)·ln(1−y)]` for `y ∈ (0,1)` (logistic outputs).
+    BinaryCrossEntropy,
+    /// Margin loss `Σ max(0, 1 − y·t̃)²` with `t̃ = 2t − 1 ∈ {−1, +1}` —
+    /// the "square-square" style loss used in boundary detection work.
+    SquaredHinge,
+}
+
+impl Loss {
+    /// Loss value for output `y` against target `t`.
+    pub fn value(&self, y: &Image, t: &Image) -> f64 {
+        assert_eq!(y.shape(), t.shape(), "output/target shape mismatch");
+        let mut acc = 0.0f64;
+        for (&yv, &tv) in y.as_slice().iter().zip(t.as_slice()) {
+            acc += self.scalar_value(yv, tv);
+        }
+        acc
+    }
+
+    /// Gradient of the loss with respect to the output image — the
+    /// initialization of the backward graph's input nodes (§III-A).
+    pub fn gradient(&self, y: &Image, t: &Image) -> Image {
+        assert_eq!(y.shape(), t.shape(), "output/target shape mismatch");
+        let mut out = y.clone();
+        for (g, &tv) in out.as_mut_slice().iter_mut().zip(t.as_slice()) {
+            *g = self.scalar_gradient(*g, tv);
+        }
+        out
+    }
+
+    #[inline]
+    fn scalar_value(&self, y: f32, t: f32) -> f64 {
+        match self {
+            Loss::Mse => 0.5 * ((y - t) as f64).powi(2),
+            Loss::BinaryCrossEntropy => {
+                let y = (y as f64).clamp(1e-7, 1.0 - 1e-7);
+                -(t as f64 * y.ln() + (1.0 - t as f64) * (1.0 - y).ln())
+            }
+            Loss::SquaredHinge => {
+                let sign = 2.0 * t as f64 - 1.0;
+                (1.0 - y as f64 * sign).max(0.0).powi(2)
+            }
+        }
+    }
+
+    #[inline]
+    fn scalar_gradient(&self, y: f32, t: f32) -> f32 {
+        match self {
+            Loss::Mse => y - t,
+            Loss::BinaryCrossEntropy => {
+                let yc = y.clamp(1e-7, 1.0 - 1e-7);
+                (yc - t) / (yc * (1.0 - yc))
+            }
+            Loss::SquaredHinge => {
+                let sign = 2.0 * t - 1.0;
+                let margin = 1.0 - y * sign;
+                if margin > 0.0 {
+                    -2.0 * sign * margin
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use znn_tensor::ops::random;
+    use znn_tensor::{Tensor3, Vec3};
+
+    #[test]
+    fn mse_of_identical_images_is_zero() {
+        let y = random(Vec3::cube(3), 61);
+        assert_eq!(Loss::Mse.value(&y, &y), 0.0);
+        assert!(Loss::Mse
+            .gradient(&y, &y)
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn losses_are_nonnegative() {
+        let y = random(Vec3::cube(4), 62).map(|v| 0.5 + 0.4 * v); // in (0,1)
+        let t = random(Vec3::cube(4), 63).map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        for loss in [Loss::Mse, Loss::BinaryCrossEntropy, Loss::SquaredHinge] {
+            assert!(loss.value(&y, &t) >= 0.0, "{loss:?}");
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let y = random(Vec3::cube(3), 64).map(|v| 0.5 + 0.35 * v);
+        let t = random(Vec3::cube(3), 65).map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        for loss in [Loss::Mse, Loss::BinaryCrossEntropy, Loss::SquaredHinge] {
+            let g = loss.gradient(&y, &t);
+            let eps = 1e-3f32;
+            for at in [Vec3::zero(), Vec3::new(1, 2, 0), Vec3::cube(2)] {
+                let mut yp = y.clone();
+                yp[at] += eps;
+                let mut ym = y.clone();
+                ym[at] -= eps;
+                let fd = ((loss.value(&yp, &t) - loss.value(&ym, &t)) / (2.0 * eps as f64)) as f32;
+                assert!(
+                    (g[at] - fd).abs() < 1e-2 * (1.0 + fd.abs()),
+                    "{loss:?} at {at}: analytic {} vs fd {fd}",
+                    g[at]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bce_gradient_with_logistic_collapses_to_y_minus_t() {
+        // the classic identity: dBCE/dx for y = σ(x) is y − t; check by
+        // chaining our pieces
+        use crate::transfer::Transfer;
+        let x = random(Vec3::cube(3), 66);
+        let t = Tensor3::filled(Vec3::cube(3), 1.0f32);
+        let y = Transfer::Logistic.forward(&x, 0.0);
+        let dy = Loss::BinaryCrossEntropy.gradient(&y, &t);
+        let dx = Transfer::Logistic.backward(&dy, &y);
+        for at in x.shape().iter() {
+            let want = y.at(at) - t.at(at);
+            assert!((dx.at(at) - want).abs() < 1e-3, "at {at}");
+        }
+    }
+
+    #[test]
+    fn hinge_is_zero_beyond_margin() {
+        let y = Tensor3::filled(Vec3::one(), 2.0f32);
+        let t = Tensor3::filled(Vec3::one(), 1.0f32);
+        assert_eq!(Loss::SquaredHinge.value(&y, &t), 0.0);
+        assert_eq!(Loss::SquaredHinge.gradient(&y, &t).at((0, 0, 0)), 0.0);
+    }
+}

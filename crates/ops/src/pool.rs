@@ -1,0 +1,141 @@
+//! Max-pooling and its Jacobian (paper §II, §III-A).
+//!
+//! Max-pooling divides an `n³` image into `p³` blocks (each extent must
+//! divide evenly) and keeps the maximum of each block. The backward pass
+//! routes each output gradient voxel to the position that won the
+//! forward max and zeroes everything else.
+
+use znn_tensor::{Image, Tensor3, Vec3};
+
+/// Result of a max-pooling forward pass: the pooled image plus, for each
+/// output voxel, the linear index (into the *input*) of the winning
+/// voxel — the state the Jacobian needs.
+pub struct PoolResult {
+    /// Pooled image of shape `n / p`.
+    pub output: Image,
+    /// For each output voxel, the linear input index of its maximum.
+    pub argmax: Tensor3<u32>,
+}
+
+/// Max-pooling forward pass with block shape `p`.
+///
+/// Panics if any extent of the input is not divisible by `p` (the
+/// paper's precondition).
+pub fn max_pool(img: &Image, p: Vec3) -> PoolResult {
+    let n = img.shape();
+    let out_shape = n
+        .pooled(p)
+        .unwrap_or_else(|| panic!("pool {p} does not divide image {n}"));
+    let mut output = Tensor3::<f32>::zeros(out_shape);
+    let mut argmax = Tensor3::<u32>::zeros(out_shape);
+    for o in out_shape.iter() {
+        let base = o * p;
+        let mut best = f32::NEG_INFINITY;
+        let mut best_at = 0u32;
+        for d in p.iter() {
+            let at = base + d;
+            let v = img.at(at);
+            if v > best {
+                best = v;
+                best_at = n.offset(at) as u32;
+            }
+        }
+        output[o] = best;
+        argmax[o] = best_at;
+    }
+    PoolResult { output, argmax }
+}
+
+/// Max-pooling Jacobian: expands an output gradient of shape `n/p` back
+/// to shape `n`, placing each value at the voxel recorded in `argmax`
+/// and zero elsewhere (§III-A).
+pub fn max_pool_backward(grad: &Image, argmax: &Tensor3<u32>, input_shape: Vec3) -> Image {
+    assert_eq!(grad.shape(), argmax.shape(), "gradient/argmax mismatch");
+    let mut out = Tensor3::<f32>::zeros(input_shape);
+    let out_data = out.as_mut_slice();
+    for (&g, &ix) in grad.as_slice().iter().zip(argmax.as_slice()) {
+        // Within a block the argmax is unique, and blocks are disjoint,
+        // so plain assignment would do; accumulate anyway for safety
+        // under ties in pathological inputs.
+        out_data[ix as usize] += g;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use znn_tensor::ops::{dot, random};
+
+    #[test]
+    fn pools_blocks_to_their_maximum() {
+        let img = Tensor3::from_vec(
+            Vec3::new(1, 2, 4),
+            vec![1.0, 5.0, 2.0, 0.0, -1.0, -2.0, 7.0, 3.0],
+        );
+        let r = max_pool(&img, Vec3::new(1, 2, 2));
+        assert_eq!(r.output.shape(), Vec3::new(1, 1, 2));
+        assert_eq!(r.output.as_slice(), &[5.0, 7.0]);
+    }
+
+    #[test]
+    fn argmax_points_at_the_winner() {
+        let img = random(Vec3::cube(4), 31);
+        let r = max_pool(&img, Vec3::cube(2));
+        for o in r.output.shape().iter() {
+            let ix = r.argmax[o] as usize;
+            assert_eq!(img.as_slice()[ix], r.output[o]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn rejects_indivisible_shapes() {
+        let _ = max_pool(&random(Vec3::cube(5), 1), Vec3::cube(2));
+    }
+
+    #[test]
+    fn backward_scatters_to_argmax_only() {
+        let img = random(Vec3::cube(4), 32);
+        let r = max_pool(&img, Vec3::cube(2));
+        let g = random(r.output.shape(), 33);
+        let back = max_pool_backward(&g, &r.argmax, img.shape());
+        // nonzero count equals number of output voxels (all argmaxes
+        // distinct since blocks are disjoint)
+        let nonzero = back.as_slice().iter().filter(|&&v| v != 0.0).count();
+        assert_eq!(nonzero, g.len());
+        assert!((back.sum() - g.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn backward_is_jacobian_transpose() {
+        // <pool(x), g> must have gradient wrt x equal to backward(g);
+        // verify by finite differences at non-tied points.
+        let x = random(Vec3::new(2, 4, 4), 34);
+        let r = max_pool(&x, Vec3::new(1, 2, 2));
+        let g = random(r.output.shape(), 35);
+        let grad = max_pool_backward(&g, &r.argmax, x.shape());
+        let eps = 1e-3f32;
+        for at in [Vec3::zero(), Vec3::new(1, 3, 2), Vec3::new(0, 2, 1)] {
+            let mut xp = x.clone();
+            xp[at] += eps;
+            let mut xm = x.clone();
+            xm[at] -= eps;
+            let lp = dot(&max_pool(&xp, Vec3::new(1, 2, 2)).output, &g);
+            let lm = dot(&max_pool(&xm, Vec3::new(1, 2, 2)).output, &g);
+            let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (grad[at] - fd).abs() < 1e-3,
+                "at {at}: analytic {} vs fd {fd}",
+                grad[at]
+            );
+        }
+    }
+
+    #[test]
+    fn unit_pool_is_identity() {
+        let img = random(Vec3::cube(3), 36);
+        let r = max_pool(&img, Vec3::one());
+        assert_eq!(r.output, img);
+    }
+}

@@ -1,0 +1,184 @@
+//! Transfer functions: bias + pointwise nonlinearity (paper §II) and
+//! their Jacobians (§III-A) and bias gradients (§III-B).
+
+use znn_tensor::{Image, Tensor3};
+
+/// The pointwise nonlinearities ZNN supports. The paper names the
+/// logistic function, hyperbolic tangent and half-wave rectification
+/// (ReLU) as the common choices; `Linear` (identity) and `LeakyRelu`
+/// round out the set used by the examples and tests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Transfer {
+    /// Identity — the node only adds its bias.
+    Linear,
+    /// Logistic sigmoid `1 / (1 + e^{-x})`.
+    Logistic,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Half-wave rectification `max(0, x)`.
+    Relu,
+    /// Leaky rectifier: `x` for `x > 0`, `αx` otherwise.
+    LeakyRelu(f32),
+}
+
+impl Transfer {
+    /// The scalar function value.
+    #[inline]
+    pub fn apply(&self, x: f32) -> f32 {
+        match *self {
+            Transfer::Linear => x,
+            Transfer::Logistic => 1.0 / (1.0 + (-x).exp()),
+            Transfer::Tanh => x.tanh(),
+            Transfer::Relu => x.max(0.0),
+            Transfer::LeakyRelu(a) => {
+                if x > 0.0 {
+                    x
+                } else {
+                    a * x
+                }
+            }
+        }
+    }
+
+    /// The derivative expressed in terms of the *output* `y = f(x)`.
+    ///
+    /// Every supported nonlinearity admits this form, which is why the
+    /// forward pass only has to keep its output image around for the
+    /// backward pass (a third of the memoization savings in Table II
+    /// comes from exactly this kind of reuse).
+    #[inline]
+    pub fn derivative_from_output(&self, y: f32) -> f32 {
+        match *self {
+            Transfer::Linear => 1.0,
+            Transfer::Logistic => y * (1.0 - y),
+            Transfer::Tanh => 1.0 - y * y,
+            Transfer::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Transfer::LeakyRelu(a) => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    a
+                }
+            }
+        }
+    }
+
+    /// Forward pass over an image: `y = f(x + bias)` (§II, "adds a number
+    /// called the bias to each voxel ... then applies a nonlinear
+    /// function").
+    pub fn forward(&self, x: &Image, bias: f32) -> Image {
+        x.map(|v| self.apply(v + bias))
+    }
+
+    /// Backward pass (§III-A): multiplies the incoming gradient by the
+    /// transfer derivative, evaluated from the forward *output*.
+    pub fn backward(&self, grad: &Image, fwd_output: &Image) -> Image {
+        assert_eq!(grad.shape(), fwd_output.shape(), "shape mismatch");
+        let mut out = Tensor3::<f32>::zeros(grad.shape());
+        for ((o, &g), &y) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad.as_slice())
+            .zip(fwd_output.as_slice())
+        {
+            *o = g * self.derivative_from_output(y);
+        }
+        out
+    }
+
+    /// Bias gradient (§III-B): the sum of all voxels of the backward
+    /// image at the node — i.e. of the gradient with respect to the
+    /// pre-nonlinearity activation, which is exactly what
+    /// [`Transfer::backward`] produces.
+    pub fn bias_gradient(backward_image: &Image) -> f32 {
+        backward_image.sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use znn_tensor::ops::random;
+    use znn_tensor::Vec3;
+
+    const ALL: [Transfer; 5] = [
+        Transfer::Linear,
+        Transfer::Logistic,
+        Transfer::Tanh,
+        Transfer::Relu,
+        Transfer::LeakyRelu(0.1),
+    ];
+
+    #[test]
+    fn scalar_values_are_sane() {
+        assert_eq!(Transfer::Relu.apply(-2.0), 0.0);
+        assert_eq!(Transfer::Relu.apply(3.0), 3.0);
+        assert!((Transfer::Logistic.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!((Transfer::Tanh.apply(0.0)).abs() < 1e-6);
+        assert_eq!(Transfer::LeakyRelu(0.1).apply(-10.0), -1.0);
+        assert_eq!(Transfer::Linear.apply(1.25), 1.25);
+    }
+
+    #[test]
+    fn derivative_from_output_matches_finite_differences() {
+        for f in ALL {
+            for &x in &[-2.0f32, -0.5, 0.3, 1.7] {
+                let eps = 1e-3;
+                let fd = (f.apply(x + eps) - f.apply(x - eps)) / (2.0 * eps);
+                let y = f.apply(x);
+                let an = f.derivative_from_output(y);
+                assert!(
+                    (an - fd).abs() < 1e-2,
+                    "{f:?} at {x}: analytic {an} vs fd {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_applies_bias_before_nonlinearity() {
+        let x = Tensor3::from_vec(Vec3::new(1, 1, 2), vec![-1.0, 1.0]);
+        let y = Transfer::Relu.forward(&x, 1.0);
+        assert_eq!(y.as_slice(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_scales_gradient_by_derivative() {
+        let x = random(Vec3::cube(3), 51);
+        for f in ALL {
+            let y = f.forward(&x, 0.1);
+            let g = random(y.shape(), 52);
+            let back = f.backward(&g, &y);
+            for at in x.shape().iter() {
+                let want = g.at(at) * f.derivative_from_output(y.at(at));
+                assert!((back.at(at) - want).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn bias_gradient_matches_finite_differences() {
+        // L = <f(x + b), g>; dL/db should equal sum(backward image)
+        let x = random(Vec3::cube(3), 53);
+        let g = random(Vec3::cube(3), 54);
+        for f in ALL {
+            let b = 0.2f32;
+            let back = f.backward(&g, &f.forward(&x, b));
+            let analytic = Transfer::bias_gradient(&back);
+            let eps = 1e-3f32;
+            let lp = znn_tensor::ops::dot(&f.forward(&x, b + eps), &g);
+            let lm = znn_tensor::ops::dot(&f.forward(&x, b - eps), &g);
+            let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (analytic - fd).abs() < 5e-2 * (1.0 + fd.abs()),
+                "{f:?}: analytic {analytic} vs fd {fd}"
+            );
+        }
+    }
+}

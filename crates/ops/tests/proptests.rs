@@ -1,0 +1,99 @@
+//! Property tests pinning the core numerical invariants of the ops
+//! crate: FFT and direct convolution agree on every geometry; sparse
+//! convolution equals dense convolution with a dilated kernel; the two
+//! max-filter algorithms agree voxel-for-voxel; pooling is filtering
+//! sampled on the block lattice.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use znn_fft::FftEngine;
+use znn_ops::filter::{max_filter, FilterImpl};
+use znn_ops::{conv, ConvMethod, Convolver};
+use znn_tensor::{ops, pad, Vec3};
+
+fn geometry() -> impl Strategy<Value = (Vec3, Vec3, Vec3)> {
+    // (image n, kernel k, sparsity s) with the dilated kernel fitting
+    (
+        (1usize..3, 1usize..3, 1usize..3),
+        (1usize..4, 1usize..4, 1usize..4),
+        (1usize..3, 1usize..3, 1usize..3),
+    )
+        .prop_map(|(extra, k, s)| {
+            let k = Vec3::from(k);
+            let s = Vec3::from(s);
+            let n = k.dilated(s) + Vec3::from(extra) - Vec3::one() + Vec3::new(2, 1, 3);
+            (n, k, s)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fft_and_direct_agree_everywhere((n, k, s) in geometry(), seed in any::<u64>()) {
+        let engine = Arc::new(FftEngine::new());
+        let direct = Convolver::new(ConvMethod::Direct, Arc::clone(&engine));
+        let fft = Convolver::new(ConvMethod::Fft, engine);
+        let img = ops::random(n, seed);
+        let ker = ops::random(k, seed ^ 0xABCD);
+        let a = direct.conv_valid(&img, &ker, s);
+        let b = fft.conv_valid(&img, &ker, s);
+        prop_assert!(a.max_abs_diff(&b) < 2e-3, "fwd diff {}", a.max_abs_diff(&b));
+
+        let g = ops::random(a.shape(), seed ^ 0x1234);
+        let da = direct.input_gradient(&g, &ker, s);
+        let db = fft.input_gradient(&g, &ker, s);
+        prop_assert!(da.max_abs_diff(&db) < 2e-3, "bwd diff {}", da.max_abs_diff(&db));
+
+        let wa = direct.kernel_gradient(&img, &g, k, s);
+        let wb = fft.kernel_gradient(&img, &g, k, s);
+        prop_assert!(wa.max_abs_diff(&wb) < 2e-3, "upd diff {}", wa.max_abs_diff(&wb));
+    }
+
+    #[test]
+    fn sparse_equals_dense_with_dilated_kernel((n, k, s) in geometry(), seed in any::<u64>()) {
+        let img = ops::random(n, seed);
+        let ker = ops::random(k, seed ^ 0x77);
+        let sparse = conv::conv_valid(&img, &ker, s);
+        let dense = conv::conv_valid(&img, &pad::dilate(&ker, s), Vec3::one());
+        prop_assert!(sparse.max_abs_diff(&dense) < 1e-5);
+    }
+
+    #[test]
+    fn filter_impls_agree((n, k, s) in geometry(), seed in any::<u64>()) {
+        let img = ops::random(n, seed);
+        let a = max_filter(&img, k, s, FilterImpl::Deque);
+        let b = max_filter(&img, k, s, FilterImpl::Heap);
+        prop_assert_eq!(a.output, b.output);
+        prop_assert_eq!(a.argmax, b.argmax);
+    }
+
+    #[test]
+    fn conv_is_linear_in_the_image((n, k, s) in geometry(), seed in any::<u64>()) {
+        let a = ops::random(n, seed);
+        let b = ops::random(n, seed ^ 0x99);
+        let ker = ops::random(k, seed ^ 0x55);
+        let mut sum = a.clone();
+        ops::add_assign(&mut sum, &b);
+        let lhs = conv::conv_valid(&sum, &ker, s);
+        let mut rhs = conv::conv_valid(&a, &ker, s);
+        ops::add_assign(&mut rhs, &conv::conv_valid(&b, &ker, s));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    #[test]
+    fn pool_is_filter_on_lattice(
+        half in (1usize..4, 1usize..4, 1usize..4),
+        p in (1usize..3, 1usize..3, 1usize..3),
+        seed in any::<u64>(),
+    ) {
+        let p = Vec3::from(p);
+        let n = Vec3::from(half) * p; // divisible by construction
+        let img = ops::random(n, seed);
+        let pooled = znn_ops::pool::max_pool(&img, p);
+        let filtered = max_filter(&img, p, Vec3::one(), FilterImpl::Deque);
+        let sampled = pad::gather_strided(
+            &filtered.output, Vec3::zero(), p, pooled.output.shape());
+        prop_assert_eq!(sampled, pooled.output);
+    }
+}

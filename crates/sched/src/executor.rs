@@ -1,0 +1,280 @@
+//! The worker pool (paper §VI-B).
+//!
+//! A predetermined number of workers repeatedly pick the
+//! highest-priority task off the global queue and execute it. Tasks are
+//! plain `FnOnce` closures; they may submit further tasks (that is how
+//! the dependency graph unfolds at runtime — the task that completes a
+//! node's sum enqueues the node's dependent tasks).
+
+use crate::queue::{QueuePolicy, TaskQueue};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A unit of work.
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Anything that can run tasks at a priority — implemented by the
+/// queue-based [`Executor`] and the work-stealing alternative.
+pub trait Scheduler: Send + Sync {
+    /// Enqueues a task; smaller priority runs earlier.
+    fn submit(&self, priority: u64, task: Task);
+    /// Scheduler statistics snapshot.
+    fn stats(&self) -> SchedStats;
+}
+
+/// Counters describing scheduler activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Tasks executed by workers.
+    pub executed: u64,
+    /// Maximum queue length observed at submit time.
+    pub peak_queue_len: u64,
+    /// Maximum number of distinct priorities observed at submit time
+    /// (the K of the heap-of-lists bound; 0 for non-priority policies).
+    pub peak_distinct_priorities: u64,
+}
+
+struct Shared {
+    queue: Mutex<TaskQueue<Task>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    executed: AtomicU64,
+    peak_len: AtomicU64,
+    peak_k: AtomicU64,
+    idle_workers: AtomicUsize,
+    workers: usize,
+    idle_cond: Condvar,
+    idle_lock: Mutex<()>,
+}
+
+/// The queue-based worker pool. Dropping the executor shuts the workers
+/// down after the queue drains.
+pub struct Executor {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Starts `workers >= 1` worker threads with the given queue policy.
+    pub fn new(workers: usize, policy: QueuePolicy) -> Self {
+        assert!(workers >= 1, "an executor needs at least one worker");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(TaskQueue::new(policy)),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            executed: AtomicU64::new(0),
+            peak_len: AtomicU64::new(0),
+            peak_k: AtomicU64::new(0),
+            idle_workers: AtomicUsize::new(0),
+            workers,
+            idle_cond: Condvar::new(),
+            idle_lock: Mutex::new(()),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("znn-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("failed to spawn worker")
+            })
+            .collect();
+        Executor { shared, handles }
+    }
+
+    /// The paper's default configuration: priority policy, one worker
+    /// per available hardware thread.
+    pub fn with_default_workers() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Executor::new(n, QueuePolicy::Priority)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Blocks until the queue is empty **and** every worker is idle.
+    /// Only meaningful when no external thread keeps submitting.
+    pub fn wait_quiescent(&self) {
+        let mut guard = self.shared.idle_lock.lock();
+        loop {
+            let queue_empty = self.shared.queue.lock().is_empty();
+            let all_idle =
+                self.shared.idle_workers.load(Ordering::SeqCst) == self.shared.workers;
+            if queue_empty && all_idle {
+                return;
+            }
+            self.shared
+                .idle_cond
+                .wait_for(&mut guard, std::time::Duration::from_millis(1));
+        }
+    }
+}
+
+impl Scheduler for Executor {
+    fn submit(&self, priority: u64, task: Task) {
+        let (len, k) = {
+            let mut q = self.shared.queue.lock();
+            q.push(priority, task);
+            (q.len() as u64, q.distinct_priorities() as u64)
+        };
+        self.shared.peak_len.fetch_max(len, Ordering::Relaxed);
+        self.shared.peak_k.fetch_max(k, Ordering::Relaxed);
+        self.shared.available.notify_one();
+    }
+
+    fn stats(&self) -> SchedStats {
+        SchedStats {
+            executed: self.shared.executed.load(Ordering::Relaxed),
+            peak_queue_len: self.shared.peak_len.load(Ordering::Relaxed),
+            peak_distinct_priorities: self.shared.peak_k.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let task = {
+            let mut q = shared.queue.lock();
+            loop {
+                if let Some(t) = q.pop() {
+                    break t;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                shared.idle_workers.fetch_add(1, Ordering::SeqCst);
+                shared.idle_cond.notify_all();
+                shared.available.wait(&mut q);
+                shared.idle_workers.fetch_sub(1, Ordering::SeqCst);
+            }
+        };
+        task();
+        shared.executed.fetch_add(1, Ordering::Relaxed);
+        shared.idle_cond.notify_all();
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Latch;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    #[test]
+    fn executes_every_task_once() {
+        let ex = Executor::new(4, QueuePolicy::Priority);
+        let counter = Arc::new(TestCounter::new(0));
+        let latch = Arc::new(Latch::new(100));
+        for i in 0..100u64 {
+            let counter = Arc::clone(&counter);
+            let latch = Arc::clone(&latch);
+            ex.submit(i % 7, Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                latch.count_down();
+            }));
+        }
+        latch.wait();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(ex.stats().executed, 100);
+    }
+
+    #[test]
+    fn single_worker_respects_priority_order() {
+        let ex = Executor::new(1, QueuePolicy::Priority);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let gate = Arc::new(Latch::new(1));
+        let done = Arc::new(Latch::new(4));
+        // block the worker so all submissions land before execution
+        {
+            let gate = Arc::clone(&gate);
+            ex.submit(0, Box::new(move || gate.wait()));
+        }
+        for (p, name) in [(5u64, "low"), (1, "high"), (3, "mid"), (crate::UPDATE_PRIORITY, "update")] {
+            let order = Arc::clone(&order);
+            let done = Arc::clone(&done);
+            ex.submit(p, Box::new(move || {
+                order.lock().push(name);
+                done.count_down();
+            }));
+        }
+        gate.count_down();
+        done.wait();
+        assert_eq!(*order.lock(), vec!["high", "mid", "low", "update"]);
+    }
+
+    #[test]
+    fn tasks_can_submit_tasks() {
+        let ex = Arc::new(Executor::new(2, QueuePolicy::Priority));
+        let latch = Arc::new(Latch::new(10));
+        let ex2 = Arc::clone(&ex);
+        let latch2 = Arc::clone(&latch);
+        ex.submit(0, Box::new(move || {
+            for _ in 0..10 {
+                let latch = Arc::clone(&latch2);
+                ex2.submit(1, Box::new(move || latch.count_down()));
+            }
+        }));
+        latch.wait();
+    }
+
+    #[test]
+    fn wait_quiescent_waits_for_running_tasks() {
+        let ex = Executor::new(2, QueuePolicy::Fifo);
+        let flag = Arc::new(AtomicBool::new(false));
+        let flag2 = Arc::clone(&flag);
+        ex.submit(0, Box::new(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            flag2.store(true, Ordering::SeqCst);
+        }));
+        ex.wait_quiescent();
+        assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let ex = Executor::new(3, QueuePolicy::Lifo);
+        let latch = Arc::new(Latch::new(5));
+        for _ in 0..5 {
+            let latch = Arc::clone(&latch);
+            ex.submit(0, Box::new(move || latch.count_down()));
+        }
+        latch.wait();
+        drop(ex); // must not hang
+    }
+
+    #[test]
+    fn stats_track_peaks() {
+        let ex = Executor::new(1, QueuePolicy::Priority);
+        let gate = Arc::new(Latch::new(1));
+        let done = Arc::new(Latch::new(6));
+        {
+            let gate = Arc::clone(&gate);
+            ex.submit(0, Box::new(move || gate.wait()));
+        }
+        for i in 0..6u64 {
+            let done = Arc::clone(&done);
+            ex.submit(i % 3, Box::new(move || done.count_down()));
+        }
+        let stats = ex.stats();
+        assert!(stats.peak_queue_len >= 6);
+        assert!(stats.peak_distinct_priorities >= 3);
+        gate.count_down();
+        done.wait();
+    }
+}

@@ -1,0 +1,214 @@
+//! Per-task FLOP costs for a concrete network, derived from the
+//! paper's complexity model with shared work amortized exactly as the
+//! engine shares it.
+//!
+//! FFT transforms of a node image are computed once and used by every
+//! edge at that node; in the cost model that transform's FLOPs are
+//! split evenly across those edges. Kernel transforms belong to single
+//! edges. The inverse transform of a node sum is split across the
+//! node's incoming contributions. Sums contribute one add per voxel.
+
+use std::collections::HashMap;
+use znn_graph::{shapes, EdgeOp, Graph, NodeId, TaskGraph, TaskKind};
+use znn_tensor::Vec3;
+use znn_theory::flops::ConvAlgorithm;
+use znn_theory::DEFAULT_C;
+
+/// `C·N·log₂N` for an image of `voxels` total voxels.
+fn fft_cost(voxels: f64) -> f64 {
+    if voxels <= 1.0 {
+        0.0
+    } else {
+        DEFAULT_C * voxels * voxels.log2()
+    }
+}
+
+fn len(v: Vec3) -> f64 {
+    v.len() as f64
+}
+
+/// Builds the task graph of `graph` and assigns every task a FLOP cost
+/// under the given convolution algorithm and memoization setting.
+pub fn task_costs(
+    graph: &Graph,
+    output_shape: Vec3,
+    algo: ConvAlgorithm,
+    memoize: bool,
+) -> Result<(TaskGraph, Vec<f64>), shapes::ShapeError> {
+    let input_shape = shapes::required_input_shape(graph, output_shape)?;
+    let shape_of: HashMap<NodeId, Vec3> = shapes::infer_shapes(graph, input_shape)?;
+    let tg = TaskGraph::build(graph);
+    let out_deg = |n: NodeId| graph.node(n).out_edges.len().max(1) as f64;
+    let in_deg = |n: NodeId| graph.node(n).in_edges.len().max(1) as f64;
+
+    let costs = tg
+        .tasks
+        .iter()
+        .map(|t| match t.kind {
+            TaskKind::DataProvider(n) => len(shape_of[&n]),
+            TaskKind::LossGradient(n) => 2.0 * len(shape_of[&n]),
+            TaskKind::Forward(e) => {
+                let edge = graph.edge(e);
+                let (nu, nv) = (len(shape_of[&edge.from]), len(shape_of[&edge.to]));
+                match edge.op {
+                    EdgeOp::Conv { kernel, .. } => match algo {
+                        ConvAlgorithm::Direct => nv * kernel.len() as f64 + nv,
+                        _ => {
+                            fft_cost(nu) / out_deg(edge.from)      // shared image FFT
+                                + fft_cost(nu)                      // kernel FFT
+                                + 4.0 * nu                          // pointwise + freq sum
+                                + fft_cost(nu) / in_deg(edge.to)    // shared inverse
+                        }
+                    },
+                    EdgeOp::MaxPool { .. } => nu + nv,
+                    EdgeOp::MaxFilter { window, .. } => {
+                        6.0 * nu * (window.len() as f64).log2().max(1.0) + nv
+                    }
+                    EdgeOp::Transfer { .. } => 2.0 * nv,
+                }
+            }
+            TaskKind::Backward(e) => {
+                let edge = graph.edge(e);
+                let (nu, nv) = (len(shape_of[&edge.from]), len(shape_of[&edge.to]));
+                match edge.op {
+                    EdgeOp::Conv { kernel, .. } => match algo {
+                        ConvAlgorithm::Direct => nu * kernel.len() as f64 + nu,
+                        _ => {
+                            let kernel_term = if memoize {
+                                2.0 * nu // derive flip-spectrum pointwise
+                            } else {
+                                fft_cost(nu) // retransform the kernel
+                            };
+                            fft_cost(nu) / in_deg(edge.to)          // shared grad FFT
+                                + kernel_term
+                                + 4.0 * nu
+                                + fft_cost(nu) / out_deg(edge.from) // shared inverse
+                        }
+                    },
+                    EdgeOp::MaxPool { .. } | EdgeOp::MaxFilter { .. } => nv + nu,
+                    EdgeOp::Transfer { .. } => 2.0 * nv,
+                }
+            }
+            TaskKind::Update(e) => {
+                let edge = graph.edge(e);
+                let nu = len(shape_of[&edge.from]);
+                let nv = len(shape_of[&edge.to]);
+                match edge.op {
+                    EdgeOp::Conv { kernel, .. } => {
+                        let k = kernel.len() as f64;
+                        match algo {
+                            ConvAlgorithm::Direct => nv * k + k,
+                            _ => {
+                                if memoize {
+                                    // pointwise corr + one inverse
+                                    4.0 * nu + fft_cost(nu) + k
+                                } else {
+                                    // two forward FFTs + pointwise + inverse
+                                    3.0 * fft_cost(nu) + 4.0 * nu + k
+                                }
+                            }
+                        }
+                    }
+                    EdgeOp::Transfer { .. } => nv + 1.0,
+                    _ => 0.0,
+                }
+            }
+        })
+        .collect();
+    Ok((tg, costs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use znn_graph::builder::scalability_net_3d;
+
+    fn total(costs: &[f64]) -> f64 {
+        costs.iter().sum()
+    }
+
+    #[test]
+    fn totals_scale_quadratically_with_width() {
+        let out = Vec3::cube(12);
+        let t = |w: usize| {
+            let (g, _) = scalability_net_3d(w);
+            let (_, c) = task_costs(&g, out, ConvAlgorithm::Direct, false).unwrap();
+            total(&c)
+        };
+        let ratio = t(16) / t(8);
+        assert!((3.0..4.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn memoization_cheapens_backward_and_update_only() {
+        let out = Vec3::cube(12);
+        let (g, _) = scalability_net_3d(4);
+        let (tg, plain) = task_costs(&g, out, ConvAlgorithm::Fft, false).unwrap();
+        let (_, memo) = task_costs(&g, out, ConvAlgorithm::Fft, true).unwrap();
+        for (i, t) in tg.tasks.iter().enumerate() {
+            match t.kind {
+                TaskKind::Forward(_) | TaskKind::DataProvider(_) | TaskKind::LossGradient(_) => {
+                    assert_eq!(plain[i], memo[i], "forward costs must not change");
+                }
+                TaskKind::Backward(e) | TaskKind::Update(e) => {
+                    if matches!(g.edge(e).op, EdgeOp::Conv { .. }) {
+                        assert!(memo[i] <= plain[i], "memoized task {i} costs more");
+                    }
+                }
+            }
+        }
+        assert!(total(&memo) < total(&plain));
+    }
+
+    #[test]
+    fn fft_layer_total_tracks_table_ii_structure() {
+        // one fully-connected conv layer f -> f': sum of per-edge fwd
+        // costs must equal T(f' + f + f'f) + 4f'f·N within rounding
+        let mut g = Graph::new();
+        let f = 3usize;
+        let fp = 4usize;
+        let ins: Vec<_> = (0..f).map(|i| g.add_node(format!("i{i}"))).collect();
+        let outs: Vec<_> = (0..fp).map(|i| g.add_node(format!("o{i}"))).collect();
+        for &a in &ins {
+            for &b in &outs {
+                g.add_edge(
+                    a,
+                    b,
+                    EdgeOp::Conv {
+                        kernel: Vec3::cube(3),
+                        sparsity: Vec3::one(),
+                    },
+                );
+            }
+        }
+        let out_shape = Vec3::cube(6);
+        let (tg, costs) = task_costs(&g, out_shape, ConvAlgorithm::Fft, false).unwrap();
+        let n = len(Vec3::cube(8)); // input shape 6+2
+        let fwd_total: f64 = tg
+            .tasks
+            .iter()
+            .zip(&costs)
+            .filter(|(t, _)| matches!(t.kind, TaskKind::Forward(_)))
+            .map(|(_, &c)| c)
+            .sum();
+        let t = fft_cost(n);
+        let expect = t * (f as f64 + fp as f64 + (f * fp) as f64) + 4.0 * n * (f * fp) as f64;
+        assert!(
+            (fwd_total - expect).abs() < 1e-6 * expect,
+            "fwd {fwd_total} vs table {expect}"
+        );
+    }
+
+    #[test]
+    fn every_task_has_a_finite_nonnegative_cost() {
+        let (g, _) = scalability_net_3d(3);
+        for (algo, memo) in [
+            (ConvAlgorithm::Direct, false),
+            (ConvAlgorithm::Fft, false),
+            (ConvAlgorithm::Fft, true),
+        ] {
+            let (_, costs) = task_costs(&g, Vec3::cube(12), algo, memo).unwrap();
+            assert!(costs.iter().all(|c| c.is_finite() && *c >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Machine models for the Table V hardware.
+
+/// A shared-memory machine model: core count, hardware threads, clock,
+/// and an SMT throughput curve.
+///
+/// `smt_throughput[t-1]` is the *total* throughput of one core running
+/// `t` threads, relative to one thread on one core. Desktop/server
+/// Xeons gain ~25–30% from the second hyperthread; Xeon Phi's in-order
+/// cores need at least two threads to approach peak and keep gaining
+/// (more slowly) up to four — matching the three-slope curves of Fig 5.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Physical cores.
+    pub cores: usize,
+    /// Hardware threads (cores × SMT ways).
+    pub hw_threads: usize,
+    /// Clock in GHz (scales absolute, not relative, results).
+    pub ghz: f64,
+    /// Total core throughput at 1..=ways threads.
+    pub smt_throughput: Vec<f64>,
+}
+
+impl Machine {
+    /// 8-core Intel Xeon E5-2666 v3 (Amazon EC2 c4.4xlarge).
+    pub fn xeon_e5_8core() -> Machine {
+        Machine {
+            name: "8-core Xeon E5-2666 v3",
+            cores: 8,
+            hw_threads: 16,
+            ghz: 2.9,
+            smt_throughput: vec![1.0, 1.3],
+        }
+    }
+
+    /// 18-core Intel Xeon E5-2666 v3 (Amazon EC2 c4.8xlarge).
+    pub fn xeon_e5_18core() -> Machine {
+        Machine {
+            name: "18-core Xeon E5-2666 v3",
+            cores: 18,
+            hw_threads: 36,
+            ghz: 2.9,
+            smt_throughput: vec![1.0, 1.3],
+        }
+    }
+
+    /// 40-core (4-way) Intel Xeon E7-4850.
+    pub fn xeon_e7_40core() -> Machine {
+        Machine {
+            name: "40-core Xeon E7-4850",
+            cores: 40,
+            hw_threads: 80,
+            ghz: 2.0,
+            smt_throughput: vec![1.0, 1.3],
+        }
+    }
+
+    /// 60-core Intel Xeon Phi 5110P (Knights Corner), 4 hardware
+    /// threads per core; a single in-order thread cannot saturate a
+    /// core, giving the three-slope curve of Fig 5(d)/(h).
+    pub fn xeon_phi() -> Machine {
+        Machine {
+            name: "Xeon Phi 5110P",
+            cores: 60,
+            hw_threads: 240,
+            ghz: 1.053,
+            smt_throughput: vec![1.0, 1.7, 1.85, 1.95],
+        }
+    }
+
+    /// All Table V machines.
+    pub fn table_v() -> Vec<Machine> {
+        vec![
+            Machine::xeon_e5_8core(),
+            Machine::xeon_e5_18core(),
+            Machine::xeon_e7_40core(),
+            Machine::xeon_phi(),
+        ]
+    }
+
+    /// SMT ways per core.
+    pub fn ways(&self) -> usize {
+        self.hw_threads / self.cores
+    }
+
+    /// Total machine throughput with `workers` threads (workers spread
+    /// round-robin over cores), in single-thread units.
+    pub fn total_throughput(&self, workers: usize) -> f64 {
+        let workers = workers.min(self.hw_threads);
+        let base = workers / self.cores; // threads on every core
+        let extra = workers % self.cores; // cores with one more
+        let t_of = |t: usize| -> f64 {
+            if t == 0 {
+                0.0
+            } else {
+                self.smt_throughput[(t - 1).min(self.smt_throughput.len() - 1)]
+            }
+        };
+        (self.cores - extra) as f64 * t_of(base) + extra as f64 * t_of(base + 1)
+    }
+
+    /// Per-worker speed with `workers` active (uniform approximation).
+    pub fn worker_speed(&self, workers: usize) -> f64 {
+        if workers == 0 {
+            return 0.0;
+        }
+        let workers = workers.min(self.hw_threads);
+        self.total_throughput(workers) / workers as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_matches_paper() {
+        let ms = Machine::table_v();
+        assert_eq!(ms.len(), 4);
+        assert_eq!(
+            ms.iter().map(|m| m.cores).collect::<Vec<_>>(),
+            vec![8, 18, 40, 60]
+        );
+        assert_eq!(
+            ms.iter().map(|m| m.hw_threads).collect::<Vec<_>>(),
+            vec![16, 36, 80, 240]
+        );
+    }
+
+    #[test]
+    fn throughput_is_linear_up_to_core_count() {
+        let m = Machine::xeon_e5_18core();
+        for w in 1..=18 {
+            assert!((m.total_throughput(w) - w as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hyperthreads_add_less_than_cores() {
+        let m = Machine::xeon_e5_8core();
+        let at_cores = m.total_throughput(8);
+        let at_ht = m.total_throughput(16);
+        assert!(at_ht > at_cores);
+        let ht_gain = at_ht - at_cores;
+        assert!(ht_gain < at_cores * 0.5, "HT gain too large: {ht_gain}");
+    }
+
+    #[test]
+    fn phi_keeps_gaining_to_four_threads_per_core() {
+        let m = Machine::xeon_phi();
+        let t60 = m.total_throughput(60);
+        let t120 = m.total_throughput(120);
+        let t240 = m.total_throughput(240);
+        assert!(t120 > t60 * 1.3, "second thread should add a lot");
+        assert!(t240 > t120, "threads 3-4 still add something");
+        assert!(t240 - t120 < t120 - t60, "but less than the second");
+    }
+
+    #[test]
+    fn oversubscription_is_capped() {
+        let m = Machine::xeon_e5_8core();
+        assert_eq!(m.total_throughput(1000), m.total_throughput(16));
+    }
+
+    #[test]
+    fn worker_speed_decreases_when_sharing_cores() {
+        let m = Machine::xeon_e5_8core();
+        assert!(m.worker_speed(8) > m.worker_speed(16));
+        assert!((m.worker_speed(1) - 1.0).abs() < 1e-9);
+    }
+}

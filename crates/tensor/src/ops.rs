@@ -1,0 +1,218 @@
+//! Elementwise kernels used on hot paths.
+//!
+//! These loops are written over plain slices so the compiler can
+//! auto-vectorize them; the tensor layer guarantees contiguity. They are
+//! the `ADD-TO(v, v')` primitive of the paper's wait-free summation
+//! (Algorithm 4) and the pointwise stages of FFT convolution.
+
+use crate::{Complex32, Tensor3, Vec3};
+
+/// `dst += src`, elementwise. Panics on shape mismatch.
+pub fn add_assign(dst: &mut Tensor3<f32>, src: &Tensor3<f32>) {
+    assert_eq!(dst.shape(), src.shape(), "add_assign shape mismatch");
+    for (d, s) in dst.as_mut_slice().iter_mut().zip(src.as_slice()) {
+        *d += *s;
+    }
+}
+
+/// `dst += src` for complex tensors (frequency-domain accumulation).
+pub fn add_assign_c(dst: &mut Tensor3<Complex32>, src: &Tensor3<Complex32>) {
+    assert_eq!(dst.shape(), src.shape(), "add_assign_c shape mismatch");
+    for (d, s) in dst.as_mut_slice().iter_mut().zip(src.as_slice()) {
+        *d += *s;
+    }
+}
+
+/// `dst += a * b`, elementwise complex multiply-accumulate — the
+/// frequency-domain convolution kernel of §IV.
+pub fn mul_add_assign_c(dst: &mut Tensor3<Complex32>, a: &Tensor3<Complex32>, b: &Tensor3<Complex32>) {
+    assert_eq!(dst.shape(), a.shape(), "mul_add_assign_c shape mismatch");
+    assert_eq!(dst.shape(), b.shape(), "mul_add_assign_c shape mismatch");
+    for ((d, x), y) in dst
+        .as_mut_slice()
+        .iter_mut()
+        .zip(a.as_slice())
+        .zip(b.as_slice())
+    {
+        *d += *x * *y;
+    }
+}
+
+/// Elementwise complex product `a * b` into a fresh tensor.
+pub fn mul_c(a: &Tensor3<Complex32>, b: &Tensor3<Complex32>) -> Tensor3<Complex32> {
+    assert_eq!(a.shape(), b.shape(), "mul_c shape mismatch");
+    let mut out = a.clone();
+    for (d, s) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *d *= *s;
+    }
+    out
+}
+
+/// `dst *= s` for real tensors.
+pub fn scale(dst: &mut Tensor3<f32>, s: f32) {
+    for d in dst.as_mut_slice() {
+        *d *= s;
+    }
+}
+
+/// `dst *= s` for complex tensors (inverse-FFT normalization).
+pub fn scale_c(dst: &mut Tensor3<Complex32>, s: f32) {
+    for d in dst.as_mut_slice() {
+        *d *= s;
+    }
+}
+
+/// `dst = dst * a + b`, the fused axpy used by SGD with momentum.
+pub fn axpy(dst: &mut Tensor3<f32>, a: f32, b: &Tensor3<f32>) {
+    assert_eq!(dst.shape(), b.shape(), "axpy shape mismatch");
+    for (d, s) in dst.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *d = *d * a + *s;
+    }
+}
+
+/// `dst -= eta * g`, the SGD parameter update of Algorithm 3 line 2.
+pub fn sub_scaled(dst: &mut Tensor3<f32>, eta: f32, g: &Tensor3<f32>) {
+    assert_eq!(dst.shape(), g.shape(), "sub_scaled shape mismatch");
+    for (d, s) in dst.as_mut_slice().iter_mut().zip(g.as_slice()) {
+        *d -= eta * *s;
+    }
+}
+
+/// Elementwise product into `dst` — the transfer-function Jacobian
+/// multiplies the backward image by the derivative image (§III-A).
+pub fn mul_assign(dst: &mut Tensor3<f32>, src: &Tensor3<f32>) {
+    assert_eq!(dst.shape(), src.shape(), "mul_assign shape mismatch");
+    for (d, s) in dst.as_mut_slice().iter_mut().zip(src.as_slice()) {
+        *d *= *s;
+    }
+}
+
+/// Widens a real tensor to complex (imaginary part zero) for the FFT.
+pub fn to_complex(t: &Tensor3<f32>) -> Tensor3<Complex32> {
+    Tensor3::from_vec(
+        t.shape(),
+        t.as_slice()
+            .iter()
+            .map(|&v| Complex32::new(v, 0.0))
+            .collect(),
+    )
+}
+
+/// Takes the real part of a complex tensor (after an inverse FFT).
+pub fn to_real(t: &Tensor3<Complex32>) -> Tensor3<f32> {
+    Tensor3::from_vec(t.shape(), t.as_slice().iter().map(|c| c.re).collect())
+}
+
+/// Dot product of two equally-shaped real tensors, accumulated in `f64`
+/// for stability (used by loss functions and gradient checks).
+pub fn dot(a: &Tensor3<f32>, b: &Tensor3<f32>) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "dot shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| x as f64 * y as f64)
+        .sum()
+}
+
+/// Fills a tensor with values from an iterator-like closure over linear
+/// indices (handy for deterministic pseudo-random test data).
+pub fn fill_with(t: &mut Tensor3<f32>, mut f: impl FnMut(usize) -> f32) {
+    for (i, v) in t.as_mut_slice().iter_mut().enumerate() {
+        *v = f(i);
+    }
+}
+
+/// A tiny deterministic value generator for tests and examples: a
+/// splitmix64-derived float in `[-1, 1)`. Not cryptographic; stable
+/// across platforms.
+pub fn splitmix_f32(seed: u64, i: u64) -> f32 {
+    let mut z = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // take 24 mantissa bits -> [0,1), then shift to [-1,1)
+    ((z >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+}
+
+/// A deterministic random-ish tensor for tests, benches and examples.
+pub fn random(shape: impl Into<Vec3>, seed: u64) -> Tensor3<f32> {
+    let shape = shape.into();
+    let mut t = Tensor3::zeros(shape);
+    fill_with(&mut t, |i| splitmix_f32(seed, i as u64));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_adds() {
+        let mut a = Tensor3::filled(Vec3::cube(2), 1.0f32);
+        let b = Tensor3::filled(Vec3::cube(2), 2.5f32);
+        add_assign(&mut a, &b);
+        assert!(a.as_slice().iter().all(|&v| v == 3.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_assign_rejects_mismatch() {
+        let mut a = Tensor3::<f32>::zeros(Vec3::cube(2));
+        let b = Tensor3::<f32>::zeros(Vec3::cube(3));
+        add_assign(&mut a, &b);
+    }
+
+    #[test]
+    fn complex_round_trip() {
+        let t = random(Vec3::new(2, 3, 4), 7);
+        let c = to_complex(&t);
+        assert_eq!(to_real(&c), t);
+    }
+
+    #[test]
+    fn mul_add_assign_c_accumulates_products() {
+        let s = Vec3::cube(2);
+        let a = Tensor3::filled(s, Complex32::new(2.0, 1.0));
+        let b = Tensor3::filled(s, Complex32::new(0.0, 1.0));
+        let mut d = Tensor3::filled(s, Complex32::new(1.0, 0.0));
+        mul_add_assign_c(&mut d, &a, &b);
+        // (2+i)(i) = -1 + 2i, plus 1 = 0 + 2i
+        for v in d.as_slice() {
+            assert!((v.re - 0.0).abs() < 1e-6 && (v.im - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sub_scaled_is_sgd_step() {
+        let mut w = Tensor3::filled(Vec3::one(), 1.0f32);
+        let g = Tensor3::filled(Vec3::one(), 4.0f32);
+        sub_scaled(&mut w, 0.25, &g);
+        assert_eq!(w.at((0, 0, 0)), 0.0);
+    }
+
+    #[test]
+    fn axpy_matches_definition() {
+        let mut v = Tensor3::filled(Vec3::one(), 2.0f32);
+        let b = Tensor3::filled(Vec3::one(), 3.0f32);
+        axpy(&mut v, 0.5, &b);
+        assert_eq!(v.at((0, 0, 0)), 4.0);
+    }
+
+    #[test]
+    fn dot_matches_manual() {
+        let a = Tensor3::from_vec(Vec3::new(1, 1, 3), vec![1.0, 2.0, 3.0]);
+        let b = Tensor3::from_vec(Vec3::new(1, 1, 3), vec![4.0, 5.0, 6.0]);
+        assert_eq!(dot(&a, &b), 32.0);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_bounded() {
+        for i in 0..1000 {
+            let v = splitmix_f32(42, i);
+            assert!((-1.0..1.0).contains(&v));
+            assert_eq!(v, splitmix_f32(42, i));
+        }
+        // different seeds give different streams
+        assert_ne!(random(Vec3::cube(3), 1), random(Vec3::cube(3), 2));
+    }
+}

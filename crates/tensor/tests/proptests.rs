@@ -1,0 +1,93 @@
+//! Property-based tests for the tensor substrate's shape algebra and
+//! shape-changing transforms.
+
+use proptest::prelude::*;
+use znn_tensor::{ops, pad, Tensor3, Vec3};
+
+fn small_shape() -> impl Strategy<Value = Vec3> {
+    (1usize..6, 1usize..6, 1usize..6).prop_map(Vec3::from)
+}
+
+fn small_tensor() -> impl Strategy<Value = Tensor3<f32>> {
+    (small_shape(), any::<u64>()).prop_map(|(s, seed)| ops::random(s, seed))
+}
+
+proptest! {
+    #[test]
+    fn offset_is_bijective(shape in small_shape()) {
+        let mut seen = vec![false; shape.len()];
+        for at in shape.iter() {
+            let o = shape.offset(at);
+            prop_assert!(!seen[o]);
+            seen[o] = true;
+        }
+        prop_assert!(seen.into_iter().all(|v| v));
+    }
+
+    #[test]
+    fn valid_and_full_conv_shapes_are_inverse(
+        n in small_shape(), k in small_shape()
+    ) {
+        // full conv with k then valid conv with k restores the shape
+        let full = n.full_conv(k);
+        prop_assert_eq!(full.valid_conv(k), Some(n));
+    }
+
+    #[test]
+    fn flip_involution(t in small_tensor()) {
+        prop_assert_eq!(pad::flip(&pad::flip(&t)), t);
+    }
+
+    #[test]
+    fn pad_crop_round_trip(
+        t in small_tensor(),
+        extra in (0usize..4, 0usize..4, 0usize..4).prop_map(Vec3::from),
+        frac in (0u8..=255, 0u8..=255, 0u8..=255),
+    ) {
+        let to = t.shape() + extra;
+        // place the tensor at a deterministic offset inside the padding
+        let at = Vec3::new(
+            (extra[0] * frac.0 as usize) / 256,
+            (extra[1] * frac.1 as usize) / 256,
+            (extra[2] * frac.2 as usize) / 256,
+        );
+        let p = pad::pad(&t, to, at);
+        prop_assert_eq!(pad::crop(&p, at, t.shape()), t.clone());
+        // padding preserves mass
+        prop_assert!((p.sum() - t.sum()).abs() <= 1e-4 * t.len() as f32);
+    }
+
+    #[test]
+    fn dilate_gather_round_trip(
+        t in small_tensor(),
+        s in (1usize..4, 1usize..4, 1usize..4).prop_map(Vec3::from),
+    ) {
+        let d = pad::dilate(&t, s);
+        prop_assert_eq!(d.shape(), t.shape().dilated(s));
+        let g = pad::gather_strided(&d, Vec3::zero(), s, t.shape());
+        prop_assert_eq!(g, t);
+    }
+
+    #[test]
+    fn add_assign_is_commutative(a in small_tensor(), seed in any::<u64>()) {
+        let b = ops::random(a.shape(), seed);
+        let mut ab = a.clone();
+        ops::add_assign(&mut ab, &b);
+        let mut ba = b.clone();
+        ops::add_assign(&mut ba, &a);
+        prop_assert!(ab.max_abs_diff(&ba) == 0.0);
+    }
+
+    #[test]
+    fn scale_then_inverse_scale_is_identity(t in small_tensor()) {
+        let mut u = t.clone();
+        ops::scale(&mut u, 4.0);
+        ops::scale(&mut u, 0.25);
+        prop_assert!(u.max_abs_diff(&t) < 1e-6);
+    }
+
+    #[test]
+    fn complex_round_trip_preserves_values(t in small_tensor()) {
+        prop_assert_eq!(ops::to_real(&ops::to_complex(&t)), t);
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-layer latency with unboundedly many processors (Tables III–IV).
+//!
+//! With infinite processors the paper's algorithm does all tasks in a
+//! layer in parallel; only the binary-tree collapse of convergent sums
+//! keeps a (logarithmic) dependence on layer width.
+
+use crate::flops::{fft_image_cost, ConvAlgorithm, LayerModel, PassCost};
+
+/// `⌈log₂ f⌉` as used by the binary collapse of `f` convergent sums.
+fn log2_ceil(f: f64) -> f64 {
+    if f <= 1.0 {
+        0.0
+    } else {
+        f.log2().ceil()
+    }
+}
+
+/// The `T∞` of one layer per pass (Tables III and IV).
+pub fn t_inf(layer: &LayerModel, algo: ConvAlgorithm, c: f64) -> PassCost {
+    match *layer {
+        LayerModel::Conv { n, k, f_in, f_out } => {
+            let np = n - k + 1.0;
+            match algo {
+                ConvAlgorithm::Direct => PassCost {
+                    forward: np.powi(3) * k.powi(3) + np.powi(3) * log2_ceil(f_in),
+                    backward: np.powi(3) * k.powi(3) + n.powi(3) * log2_ceil(f_out),
+                    update: np.powi(3) * k.powi(3),
+                },
+                ConvAlgorithm::Fft | ConvAlgorithm::FftMemoized => {
+                    let t = fft_image_cost(n, c); // = 3C n³ log n
+                    let two_t = 2.0 * t; // the paper's 6C n³ log n
+                    let upd_t = if algo == ConvAlgorithm::FftMemoized {
+                        t // 3C n³ log n (update reuses both spectra)
+                    } else {
+                        two_t
+                    };
+                    PassCost {
+                        forward: two_t + 4.0 * n.powi(3) * log2_ceil(f_in),
+                        backward: two_t + 4.0 * n.powi(3) * log2_ceil(f_out),
+                        update: upd_t + 4.0 * n.powi(3),
+                    }
+                }
+            }
+        }
+        LayerModel::Transfer { n, .. } => PassCost {
+            forward: n.powi(3),
+            backward: n.powi(3),
+            update: n.powi(3),
+        },
+        LayerModel::MaxPool { n, .. } => PassCost {
+            forward: n.powi(3),
+            backward: n.powi(3),
+            update: 0.0,
+        },
+        LayerModel::MaxFilter { n, k, .. } => PassCost {
+            forward: 6.0 * n.powi(3) * k.log2().max(1.0),
+            backward: n.powi(3),
+            update: 0.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_C;
+
+    #[test]
+    fn t_inf_depends_on_width_only_logarithmically() {
+        let layer = |f: f64| LayerModel::Conv {
+            n: 24.0,
+            k: 5.0,
+            f_in: f,
+            f_out: f,
+        };
+        let narrow = t_inf(&layer(2.0), ConvAlgorithm::Direct, DEFAULT_C).forward;
+        let wide = t_inf(&layer(128.0), ConvAlgorithm::Direct, DEFAULT_C).forward;
+        // 64x width increase must cost only ~log-factor more latency
+        assert!(wide < narrow * 8.0, "narrow {narrow} wide {wide}");
+    }
+
+    #[test]
+    fn serial_cost_grows_quadratically_but_t_inf_does_not() {
+        // the §V-A argument: T1 ~ f², T∞ ~ log f, so S∞ diverges with f
+        let layer = |f: f64| LayerModel::Conv {
+            n: 24.0,
+            k: 5.0,
+            f_in: f,
+            f_out: f,
+        };
+        let s_inf = |f: f64| {
+            let l = layer(f);
+            l.flops_default(ConvAlgorithm::Direct).total()
+                / t_inf(&l, ConvAlgorithm::Direct, DEFAULT_C).total()
+        };
+        assert!(s_inf(64.0) > 16.0 * s_inf(2.0) / 4.0);
+        assert!(s_inf(64.0) > s_inf(8.0));
+    }
+
+    #[test]
+    fn memoized_update_halves_transform_latency() {
+        let l = LayerModel::Conv {
+            n: 24.0,
+            k: 5.0,
+            f_in: 16.0,
+            f_out: 16.0,
+        };
+        let fft = t_inf(&l, ConvAlgorithm::Fft, DEFAULT_C).update;
+        let memo = t_inf(&l, ConvAlgorithm::FftMemoized, DEFAULT_C).update;
+        assert!(memo < fft);
+        // forward latency is unchanged by memoization (Table III)
+        assert_eq!(
+            t_inf(&l, ConvAlgorithm::Fft, DEFAULT_C).forward,
+            t_inf(&l, ConvAlgorithm::FftMemoized, DEFAULT_C).forward
+        );
+    }
+
+    #[test]
+    fn width_one_layer_has_no_collapse_term() {
+        let l = LayerModel::Conv {
+            n: 10.0,
+            k: 3.0,
+            f_in: 1.0,
+            f_out: 1.0,
+        };
+        let t = t_inf(&l, ConvAlgorithm::Direct, DEFAULT_C);
+        assert_eq!(t.forward, 8.0f64.powi(3) * 27.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Watch the §IV autotuner choose between direct and FFT convolution
+//! per layer geometry, and verify both paths give the same numbers.
+//!
+//! ```sh
+//! cargo run --release --example autotune
+//! ```
+
+use znn::core::{ConvPolicy, TrainConfig, Znn};
+use znn::graph::{EdgeId, NetBuilder};
+use znn::ops::Transfer;
+use znn::tensor::{ops, Vec3};
+
+fn main() {
+    // small kernels early (direct should win), large kernels late (FFT
+    // should win) — a geometry mix that makes the autotuner earn its keep
+    let (graph, _) = NetBuilder::new("tuned", 1)
+        .conv(4, Vec3::cube(2))
+        .transfer(Transfer::Relu)
+        .conv(4, Vec3::cube(7))
+        .transfer(Transfer::Relu)
+        .conv(1, Vec3::cube(2))
+        .build()
+        .unwrap();
+
+    let out_shape = Vec3::cube(3);
+    let tuned = Znn::new(
+        graph.clone(),
+        out_shape,
+        TrainConfig {
+            conv: ConvPolicy::Autotune,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    println!("autotuner decisions (per conv edge):");
+    let mut by_kernel: Vec<(Vec3, znn::ops::ConvMethod)> = Vec::new();
+    for (i, e) in graph.edges().iter().enumerate() {
+        if let znn::graph::EdgeOp::Conv { kernel, .. } = e.op {
+            let m = tuned.conv_method(EdgeId(i)).unwrap();
+            if !by_kernel.iter().any(|(k, mm)| *k == kernel && *mm == m) {
+                by_kernel.push((kernel, m));
+            }
+        }
+    }
+    for (k, m) in &by_kernel {
+        println!("  kernel {k}: {m:?}");
+    }
+
+    // both forced paths agree with the tuned engine
+    let x = ops::random(tuned.input_shape(), 5);
+    let y_tuned = tuned.forward(&[x.clone()]).remove(0);
+    for policy in [ConvPolicy::ForceDirect, ConvPolicy::ForceFft] {
+        let forced = Znn::new(
+            graph.clone(),
+            out_shape,
+            TrainConfig {
+                conv: policy,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let y = forced.forward(&[x.clone()]).remove(0);
+        let d = y.max_abs_diff(&y_tuned);
+        println!("{policy:?} max deviation from tuned output: {d:.2e}");
+        assert!(d < 1e-3);
+    }
+    println!("all convolution paths agree.");
+}

@@ -1,0 +1,120 @@
+//! Multi-scale / scale-controlled convolution (§II-A and the §XI
+//! multi-scale extension): ZNN's computation graph is a general DAG, so
+//! a network can process the same input at several scales — here by
+//! giving parallel paths different convolution sparsities — and merge
+//! them with convergent convolutions.
+//!
+//! ```sh
+//! cargo run --release --example multiscale
+//! ```
+
+use znn::core::{TrainConfig, Znn};
+use znn::graph::{EdgeOp, Graph};
+use znn::ops::Transfer;
+use znn::tensor::{ops, Vec3};
+
+fn main() {
+    // hand-built DAG: input -> fine path (s=1) and coarse path (s=2),
+    // merged by convergent convolutions into one head
+    let mut g = Graph::new();
+    let input = g.add_node("in");
+    let fine = g.add_node("fine");
+    let fine_t = g.add_node("fine/t");
+    let coarse = g.add_node("coarse");
+    let coarse_t = g.add_node("coarse/t");
+    let merge = g.add_node("merge");
+    let merge_t = g.add_node("merge/t");
+    let head = g.add_node("head");
+    let out = g.add_node("out");
+
+    let k = Vec3::cube(3);
+    g.add_edge(
+        input,
+        fine,
+        EdgeOp::Conv {
+            kernel: k,
+            sparsity: Vec3::one(),
+        },
+    );
+    g.add_edge(
+        input,
+        coarse,
+        EdgeOp::Conv {
+            kernel: k,
+            sparsity: Vec3::cube(2), // same kernel, double the reach
+        },
+    );
+    g.add_edge(fine, fine_t, EdgeOp::Transfer { function: Transfer::Relu });
+    g.add_edge(coarse, coarse_t, EdgeOp::Transfer { function: Transfer::Relu });
+    // the two scales merge: shapes must agree, so the fine path uses a
+    // larger kernel to match the coarse path's field of view
+    // fine: n-2 after conv; coarse: n-4. A second fine conv with k=3
+    // brings fine to n-4 as well.
+    let fine2 = g.add_node("fine2");
+    g.add_edge(
+        fine_t,
+        fine2,
+        EdgeOp::Conv {
+            kernel: k,
+            sparsity: Vec3::one(),
+        },
+    );
+    let fine2_t = g.add_node("fine2/t");
+    g.add_edge(fine2, fine2_t, EdgeOp::Transfer { function: Transfer::Relu });
+    // convergent convolutions sum at `merge` (both paths now at n-4;
+    // 1x1x1 kernels keep the shapes aligned)
+    g.add_edge(
+        fine2_t,
+        merge,
+        EdgeOp::Conv {
+            kernel: Vec3::one(),
+            sparsity: Vec3::one(),
+        },
+    );
+    g.add_edge(
+        coarse_t,
+        merge,
+        EdgeOp::Conv {
+            kernel: Vec3::one(),
+            sparsity: Vec3::one(),
+        },
+    );
+    g.add_edge(merge, merge_t, EdgeOp::Transfer { function: Transfer::Relu });
+    g.add_edge(
+        merge_t,
+        head,
+        EdgeOp::Conv {
+            kernel: k,
+            sparsity: Vec3::one(),
+        },
+    );
+    g.add_edge(head, out, EdgeOp::Transfer { function: Transfer::Logistic });
+    g.validate().expect("multi-scale DAG is valid");
+
+    println!(
+        "multi-scale DAG: {} nodes, {} edges (fine s=1 + coarse s=2 paths)",
+        g.node_count(),
+        g.edge_count()
+    );
+
+    let out_shape = Vec3::cube(4);
+    let znn = Znn::new(g, out_shape, TrainConfig::default()).unwrap();
+    println!("input {} -> output {out_shape}", znn.input_shape());
+
+    // train a few steps on a fixed sample to show gradients flow through
+    // both scales and the convergent merge
+    let x = ops::random(znn.input_shape(), 1);
+    let t = ops::random(out_shape, 2).map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+    let mut first = None;
+    let mut last = 0.0;
+    for round in 0..30 {
+        last = znn.train_step(&[x.clone()], &[t.clone()]);
+        first.get_or_insert(last);
+        if round % 10 == 0 {
+            println!("round {round:>2}: loss {last:.4}");
+        }
+    }
+    let first = first.unwrap();
+    println!("loss {first:.4} -> {last:.4}");
+    assert!(last < first, "multi-scale net must train");
+}
