@@ -76,6 +76,7 @@ pub struct PooledAlloc {
 impl PooledAlloc {
     /// A fresh allocator with empty pools.
     pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)] // array-init seed only
         const EMPTY: ClassList = ClassList::new();
         PooledAlloc {
             classes: [EMPTY; CLASS_COUNT],

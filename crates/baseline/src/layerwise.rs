@@ -214,7 +214,7 @@ mod tests {
         let mut seq = ReferenceNet::new(g.clone(), Vec3::cube(2), 5).unwrap();
         let mut par = LayerwiseNet::new(g, Vec3::cube(2), 5).unwrap();
         let x = ops::random(seq.input_shape(), 6);
-        let a = seq.forward(&[x.clone()]);
+        let a = seq.forward(std::slice::from_ref(&x));
         let b = par.forward(&[x]);
         assert!(a[0].max_abs_diff(&b[0]) < 1e-5);
     }
@@ -227,8 +227,8 @@ mod tests {
         let x = ops::random(seq.input_shape(), 8);
         let t = Tensor3::<f32>::zeros(Vec3::flat(2, 2));
         for step in 0..5 {
-            let la = seq.train_step(&[x.clone()], &[t.clone()], Loss::Mse, 0.02);
-            let lb = par.train_step(&[x.clone()], &[t.clone()], Loss::Mse, 0.02);
+            let la = seq.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t), Loss::Mse, 0.02);
+            let lb = par.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t), Loss::Mse, 0.02);
             assert!(
                 (la - lb).abs() < 1e-4 * (1.0 + la.abs()),
                 "step {step}: {la} vs {lb}"
@@ -243,10 +243,10 @@ mod tests {
         let mut net = LayerwiseNet::new(g, Vec3::flat(3, 3), 9).unwrap();
         let x = ops::random(net.input_shape(), 10);
         let t = Tensor3::<f32>::zeros(Vec3::flat(3, 3));
-        let l0 = net.train_step(&[x.clone()], &[t.clone()], Loss::Mse, 0.02);
+        let l0 = net.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t), Loss::Mse, 0.02);
         let mut l = l0;
         for _ in 0..20 {
-            l = net.train_step(&[x.clone()], &[t.clone()], Loss::Mse, 0.02);
+            l = net.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t), Loss::Mse, 0.02);
         }
         assert!(l < l0);
     }

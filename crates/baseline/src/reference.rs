@@ -290,7 +290,7 @@ mod tests {
         let mut a = small_net();
         let mut b = small_net();
         let x = ops::random(Vec3::cube(4), 2);
-        assert_eq!(a.forward(&[x.clone()])[0], b.forward(&[x])[0]);
+        assert_eq!(a.forward(std::slice::from_ref(&x))[0], b.forward(&[x])[0]);
     }
 
     #[test]
@@ -298,10 +298,10 @@ mod tests {
         let mut net = small_net();
         let x = ops::random(Vec3::cube(4), 3);
         let t = ops::random(Vec3::cube(2), 4).map(|v| 0.3 * v);
-        let first = net.train_step(&[x.clone()], &[t.clone()], Loss::Mse, 0.05);
+        let first = net.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t), Loss::Mse, 0.05);
         let mut last = first;
         for _ in 0..60 {
-            last = net.train_step(&[x.clone()], &[t.clone()], Loss::Mse, 0.05);
+            last = net.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t), Loss::Mse, 0.05);
         }
         assert!(
             last < first * 0.5,
@@ -315,7 +315,7 @@ mod tests {
         let x = ops::random(Vec3::cube(4), 5);
         let t = Tensor3::<f32>::zeros(Vec3::cube(2));
         // gradient of loss wrt input via backward with eta=0
-        let y = net.forward(&[x.clone()]);
+        let y = net.forward(std::slice::from_ref(&x));
         let g = Loss::Mse.gradient(&y[0], &t);
         let input_grad = net.backward(&[g], 0.0);
         let eps = 1e-2f32;
@@ -343,7 +343,7 @@ mod tests {
         let eta = 1e-3f32;
         let mut net = small_net();
         let w_before = net.params().kernels[0].clone().unwrap();
-        net.train_step(&[x.clone()], &[t.clone()], Loss::Mse, eta);
+        net.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t), Loss::Mse, eta);
         let w_after = net.params().kernels[0].clone().unwrap();
         let eps = 1e-2f32;
         for at in Vec3::cube(2).iter() {
@@ -351,13 +351,13 @@ mod tests {
             let mut np = small_net();
             np.params_mut().kernels[0].as_mut().unwrap()[at] += eps;
             let lp = {
-                let y = np.forward(&[x.clone()]);
+                let y = np.forward(std::slice::from_ref(&x));
                 Loss::Mse.value(&y[0], &t)
             };
             let mut nm = small_net();
             nm.params_mut().kernels[0].as_mut().unwrap()[at] -= eps;
             let lm = {
-                let y = nm.forward(&[x.clone()]);
+                let y = nm.forward(std::slice::from_ref(&x));
                 Loss::Mse.value(&y[0], &t)
             };
             let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
@@ -386,11 +386,11 @@ mod tests {
             }
             let x = ops::random(net.input_shape(), 10);
             let t = Tensor3::filled(out_shape, 0.5f32);
-            let l0 = net.train_step(&[x.clone()], &[t.clone()], Loss::Mse, 0.02);
+            let l0 = net.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t), Loss::Mse, 0.02);
             assert!(l0 > 0.0, "sparse={sparse}: needs a nonzero starting loss");
             let mut l = l0;
             for _ in 0..30 {
-                l = net.train_step(&[x.clone()], &[t.clone()], Loss::Mse, 0.02);
+                l = net.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t), Loss::Mse, 0.02);
             }
             assert!(l < 0.5 * l0, "sparse={sparse}: {l0} -> {l}");
         }

@@ -32,9 +32,9 @@ fn bench_engine(c: &mut Criterion) {
         let x = ops::random(znn.input_shape(), 1);
         let t = ops::random(out, 2);
         // one warm round outside measurement
-        znn.train_step(&[x.clone()], &[t.clone()]);
+        znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
         group.bench_function(name, |b| {
-            b.iter(|| black_box(znn.train_step(black_box(&[x.clone()]), black_box(&[t.clone()]))))
+            b.iter(|| black_box(znn.train_step(black_box(std::slice::from_ref(&x)), black_box(std::slice::from_ref(&t)))))
         });
     }
     group.finish();
@@ -55,9 +55,9 @@ fn bench_engine(c: &mut Criterion) {
         let znn = Znn::new(g, out, cfg).unwrap();
         let x = ops::random(znn.input_shape(), 1);
         let t = ops::random(out, 2);
-        znn.train_step(&[x.clone()], &[t.clone()]);
+        znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
         group.bench_function(format!("{policy:?}"), |b| {
-            b.iter(|| black_box(znn.train_step(&[x.clone()], &[t.clone()])))
+            b.iter(|| black_box(znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t))))
         });
     }
     group.finish();

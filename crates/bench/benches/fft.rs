@@ -1,6 +1,6 @@
 //! 3D FFT throughput: smooth vs awkward sizes, plan-cache reuse.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 use znn_fft::{good_size, FftEngine};
@@ -47,5 +47,49 @@ fn bench_fft(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fft);
+/// r2c half-spectrum transforms vs the c2c baseline on the shapes the
+/// engine actually runs (the acceptance gate: r2c must win at >= 64³).
+fn bench_r2c_vs_c2c(c: &mut Criterion) {
+    let engine = FftEngine::new();
+    let mut group = c.benchmark_group("r2c_vs_c2c");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+    for n in [32usize, 64, 72] {
+        let m = Vec3::cube(n);
+        let img = ops::random(m, 3);
+        // warm plan caches for both pipelines
+        black_box(engine.rfft3(&img));
+        black_box(engine.forward_padded_c2c(&img, m));
+        group.bench_function(format!("forward_r2c_{n}"), |b| {
+            b.iter(|| black_box(engine.rfft3(black_box(&img))))
+        });
+        group.bench_function(format!("forward_c2c_{n}"), |b| {
+            b.iter(|| black_box(engine.forward_padded_c2c(black_box(&img), m)))
+        });
+        // the inverse transforms consume their input, so the clone runs
+        // in iter_batched's setup, off the clock (a c2c clone copies 2x
+        // the bytes of an r2c clone and would skew the comparison)
+        let spec = engine.rfft3(&img);
+        let full = engine.forward_padded_c2c(&img, m);
+        group.bench_function(format!("inverse_r2c_{n}"), |b| {
+            b.iter_batched(
+                || spec.clone(),
+                |s| black_box(engine.irfft3(s)),
+                BatchSize::PerIteration,
+            )
+        });
+        group.bench_function(format!("inverse_c2c_{n}"), |b| {
+            b.iter_batched(
+                || full.clone(),
+                |s| black_box(engine.inverse_real_c2c(s, Vec3::zero(), m)),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_r2c_vs_c2c);
 criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Transform traffic — time and bytes moved per 3D transform, r2c
+//! half-spectrum pipeline vs the full c2c baseline.
+//!
+//! The r2c path stores `⌊m_z/2⌋+1` of `m_z` z-bins and runs the
+//! z-stage at half length, so both the bytes written per forward
+//! transform and the transform time should approach half the c2c
+//! figures as shapes grow. The "spectrum bytes" column is what every
+//! *memoized* spectrum costs for the lifetime of a training round —
+//! the paper's main RAM consumer (§IV).
+
+use znn_bench::{fmt, header, row, time_per_round};
+use znn_fft::FftEngine;
+use znn_tensor::{ops, Spectrum, Vec3};
+
+fn main() {
+    println!("# transform traffic — r2c half-spectrum vs c2c full spectrum\n");
+    let engine = FftEngine::new();
+    header(&[
+        "shape",
+        "r2c spectrum bytes",
+        "c2c spectrum bytes",
+        "bytes ratio",
+        "r2c fwd s",
+        "c2c fwd s",
+        "speedup",
+    ]);
+    for n in [16usize, 24, 32, 48, 64] {
+        let m = Vec3::cube(n);
+        let img = ops::random(m, 1);
+        let spec = engine.rfft3(&img);
+        let r2c_bytes = spec.stored_bytes();
+        let c2c_bytes = spec.full_bytes();
+        let (warm, reps) = if n >= 48 { (1, 3) } else { (2, 8) };
+        let t_r2c = time_per_round(warm, reps, || {
+            std::hint::black_box(engine.rfft3(&img));
+        });
+        let t_c2c = time_per_round(warm, reps, || {
+            std::hint::black_box(engine.forward_padded_c2c(&img, m));
+        });
+        row(&[
+            format!("{n}³"),
+            r2c_bytes.to_string(),
+            c2c_bytes.to_string(),
+            format!("{:.3}", r2c_bytes as f64 / c2c_bytes as f64),
+            fmt(t_r2c),
+            fmt(t_c2c),
+            format!("{:.2}x", t_c2c / t_r2c),
+        ]);
+    }
+    println!();
+    println!("shape check: bytes ratio tends to 1/2 (exactly (⌊n/2⌋+1)/n");
+    println!("per z-line) and the r2c transform speedup approaches ~2x on");
+    println!("large shapes.");
+    // the same half-spectrum bound, stated for one memoized volume
+    let m = Vec3::cube(64);
+    let half = Spectrum::half_shape(m);
+    println!(
+        "\nexample: a memoized 64³ spectrum stores {} of {} bins ({} of {} bytes).",
+        half.len(),
+        m.len(),
+        Spectrum::zeros(m).stored_bytes(),
+        Spectrum::zeros(m).full_bytes(),
+    );
+}

@@ -97,7 +97,7 @@ fn host_measurement() {
             let x = ops::random(znn.input_shape(), 1);
             let t = ops::random(out, 2);
             let dt = znn_bench::time_per_round(2, 5, || {
-                znn.train_step(&[x.clone()], &[t.clone()]);
+                znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
             });
             let base = *serial_time.get_or_insert(dt);
             line.push_str(&format!("{workers}:{:.2}  ", base / dt));

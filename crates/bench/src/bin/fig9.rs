@@ -36,7 +36,7 @@ fn main() {
             let x = ops::random(znn.input_shape(), 1);
             let t = ops::random(out_shape, 2).map(|v| 0.5 + 0.4 * v);
             let t_znn = time_per_round(1, 3, || {
-                znn.train_step(&[x.clone()], &[t.clone()]);
+                znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
             });
 
             let (g_dense, _) = comparison_net(width, kernel, pool, false);
@@ -44,7 +44,7 @@ fn main() {
             let bx = ops::random(base.input_shape(), 3);
             let bt = ops::random(out_shape, 4).map(|v| 0.5 + 0.4 * v);
             let t_base = time_per_round(1, 3, || {
-                base.train_step(&[bx.clone()], &[bt.clone()], Loss::Mse, 0.01);
+                base.train_step(std::slice::from_ref(&bx), std::slice::from_ref(&bt), Loss::Mse, 0.01);
             });
 
             row(&[

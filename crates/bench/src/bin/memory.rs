@@ -29,7 +29,13 @@ fn main() {
     println!("# §IX-B — FFT memoization: memory vs speed\n");
     let out_shape = Vec3::cube(2);
     let kernel = Vec3::cube(5);
-    header(&["memoize", "s/update", "memoized spectra (count)"]);
+    header(&[
+        "memoize",
+        "s/update",
+        "memoized spectra (count)",
+        "half-spectrum bytes",
+        "c2c bytes (avoided)",
+    ]);
     for memoize in [false, true] {
         let (g, _) = comparison_net(3, kernel, Vec3::cube(2), true);
         let cfg = TrainConfig {
@@ -42,12 +48,14 @@ fn main() {
         let x = ops::random(znn.input_shape(), 1);
         let t = ops::random(out_shape, 2).map(|v| 0.5 + 0.4 * v);
         let dt = time_per_round(1, 3, || {
-            znn.train_step(&[x.clone()], &[t.clone()]);
+            znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
         });
         row(&[
             memoize.to_string(),
             fmt(dt),
             znn.memoized_spectra().to_string(),
+            znn.memoized_spectrum_bytes().to_string(),
+            znn.memoized_spectrum_c2c_bytes().to_string(),
         ]);
     }
     println!("\nshape check: memoization trades retained spectra (memory");

@@ -69,7 +69,7 @@ fn main() {
         let x = ops::random(znn.input_shape(), 1);
         let t = ops::random(Vec3::cube(4), 2);
         let dt = time_per_round(1, 4, || {
-            znn.train_step(&[x.clone()], &[t.clone()]);
+            znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
         });
         row(&[format!("{policy:?}"), fmt(dt)]);
     }

@@ -415,12 +415,33 @@ impl Znn {
         f
     }
 
-    /// Bytes of spectra currently memoized (for §IX-B accounting).
+    /// Count of spectra currently memoized (for §IX-B accounting).
     pub fn memoized_spectra(&self) -> usize {
         self.inner
             .nodes
             .iter()
             .map(|n| n.fwd_spectra.len() + n.bwd_spectra.len())
+            .sum()
+    }
+
+    /// Bytes of half-spectra currently memoized — the paper's main RAM
+    /// consumer (§IV), halved by the r2c representation relative to
+    /// full c2c spectra of the same transform shapes.
+    pub fn memoized_spectrum_bytes(&self) -> usize {
+        self.inner
+            .nodes
+            .iter()
+            .map(|n| n.fwd_spectra.bytes() + n.bwd_spectra.bytes())
+            .sum()
+    }
+
+    /// Bytes the same memoized spectra would occupy as full c2c
+    /// transforms — the exact footprint r2c avoids.
+    pub fn memoized_spectrum_c2c_bytes(&self) -> usize {
+        self.inner
+            .nodes
+            .iter()
+            .map(|n| n.fwd_spectra.c2c_bytes() + n.bwd_spectra.c2c_bytes())
             .sum()
     }
 
@@ -536,7 +557,7 @@ impl Inner {
                     .fwd_spectra
                     .get_or_compute(m, || inner.fft.forward_padded(input, m));
                 let w_spec = Inner::kernel_spectrum(inner, c, m);
-                let prod = ops::mul_c(&x_spec, &w_spec);
+                let prod = ops::mul_s(&x_spec, &w_spec);
                 let node = &inner.nodes[to.0];
                 match node.fwd_freq {
                     // defer the inverse transform to the node sum: one
@@ -685,7 +706,7 @@ impl Inner {
                 });
                 let w_spec = Inner::kernel_spectrum(inner, c, m);
                 let v_spec = spectra::flip_spectrum(&w_spec, c.k.dilated(c.sparsity));
-                let prod = ops::mul_c(&g_spec, &v_spec);
+                let prod = ops::mul_s(&g_spec, &v_spec);
                 let node = &inner.nodes[from.0];
                 if node.bwd_freq.is_some() {
                     Contribution::Freq(prod)
@@ -700,10 +721,11 @@ impl Inner {
         }
     }
 
-    /// The memoized kernel spectrum (Table II): computed in the forward
-    /// pass and reused by backward/update when memoization is on. Sparse
-    /// kernels are dilated onto the skip lattice before transforming.
-    fn kernel_spectrum(inner: &Arc<Inner>, c: &ConvEdge, m: Vec3) -> Arc<znn_tensor::CImage> {
+    /// The memoized kernel half-spectrum (Table II): computed in the
+    /// forward pass and reused by backward/update when memoization is
+    /// on. Sparse kernels are dilated onto the skip lattice before
+    /// transforming.
+    fn kernel_spectrum(inner: &Arc<Inner>, c: &ConvEdge, m: Vec3) -> Arc<znn_tensor::Spectrum> {
         let compute = || {
             let w = c.kernel.lock();
             if c.sparsity == Vec3::one() {

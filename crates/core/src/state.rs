@@ -5,22 +5,23 @@ use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 use znn_ops::{ConvMethod, Transfer};
 use znn_sched::{Accumulate, ConcurrentSum, UpdateHandle};
-use znn_tensor::{ops, CImage, Image, Tensor3, Vec3};
+use znn_tensor::{ops, Image, Spectrum, Tensor3, Vec3};
 
 /// A contribution flowing into a node sum — spatial, or a product
-/// spectrum when the whole fan-in shares one transform geometry (§IV).
+/// half-spectrum when the whole fan-in shares one transform geometry
+/// (§IV).
 pub(crate) enum Contribution {
     /// Spatial-domain image.
     Spatial(Image),
-    /// Frequency-domain image (deferred inverse transform).
-    Freq(CImage),
+    /// Frequency-domain half-spectrum (deferred inverse transform).
+    Freq(Spectrum),
 }
 
 impl Accumulate for Contribution {
     fn accumulate(&mut self, other: Self) {
         match (self, other) {
             (Contribution::Spatial(a), Contribution::Spatial(b)) => ops::add_assign(a, &b),
-            (Contribution::Freq(a), Contribution::Freq(b)) => ops::add_assign_c(a, &b),
+            (Contribution::Freq(a), Contribution::Freq(b)) => ops::add_assign_s(a, &b),
             _ => panic!("mixed spatial/frequency contributions at one node"),
         }
     }
@@ -35,19 +36,20 @@ pub(crate) struct FreqPlan {
     pub out_shape: Vec3,
 }
 
-/// A per-(node, transform-shape) cache of image spectra, so an image's
-/// FFT is computed once and shared by every edge that needs it — the
-/// `[f' + f + ...]` term structure of Table II.
+/// A per-(node, transform-shape) cache of image half-spectra, so an
+/// image's r2c FFT is computed once and shared by every edge that needs
+/// it — the `[f' + f + ...]` term structure of Table II. Keys are the
+/// *logical* transform shapes; each entry stores `⌊m_z/2⌋+1` z-bins.
 #[derive(Default)]
 pub(crate) struct SpectrumCache {
-    map: Mutex<HashMap<Vec3, Arc<OnceLock<Arc<CImage>>>>>,
+    map: Mutex<HashMap<Vec3, Arc<OnceLock<Arc<Spectrum>>>>>,
 }
 
 impl SpectrumCache {
     /// Returns the cached spectrum at `m`, computing it with `f` if
     /// absent. Concurrent callers for the same shape block only on the
     /// single computation (the paper counts one FFT per image per pass).
-    pub fn get_or_compute(&self, m: Vec3, f: impl FnOnce() -> CImage) -> Arc<CImage> {
+    pub fn get_or_compute(&self, m: Vec3, f: impl FnOnce() -> Spectrum) -> Arc<Spectrum> {
         let cell = {
             let mut map = self.map.lock();
             Arc::clone(map.entry(m).or_default())
@@ -64,6 +66,26 @@ impl SpectrumCache {
     /// Number of cached spectra (for memory accounting).
     pub fn len(&self) -> usize {
         self.map.lock().len()
+    }
+
+    /// Bytes held by materialized cached spectra (§IX-B accounting —
+    /// roughly half of what the full c2c representation would retain).
+    pub fn bytes(&self) -> usize {
+        self.map
+            .lock()
+            .values()
+            .filter_map(|cell| cell.get().map(|s| s.stored_bytes()))
+            .sum()
+    }
+
+    /// Bytes full c2c spectra of the same transform shapes would hold —
+    /// the exact footprint the half-spectrum representation avoids.
+    pub fn c2c_bytes(&self) -> usize {
+        self.map
+            .lock()
+            .values()
+            .filter_map(|cell| cell.get().map(|s| s.full_bytes()))
+            .sum()
     }
 }
 
@@ -112,8 +134,9 @@ pub(crate) struct ConvEdge {
     /// Momentum buffer (allocated on first use).
     pub velocity: Mutex<Option<Image>>,
     pub method: ConvMethod,
-    /// Memoized spectrum of the padded kernel at `m` (current round).
-    pub kernel_spectrum: Mutex<Option<Arc<CImage>>>,
+    /// Memoized half-spectrum of the padded kernel at `m` (current
+    /// round).
+    pub kernel_spectrum: Mutex<Option<Arc<Spectrum>>>,
     pub update: UpdateHandle,
     pub k: Vec3,
     pub sparsity: Vec3,
@@ -179,7 +202,7 @@ mod tests {
     #[should_panic(expected = "mixed spatial/frequency")]
     fn mixed_contributions_panic() {
         let mut a = Contribution::Spatial(Tensor3::filled(Vec3::one(), 1.0));
-        a.accumulate(Contribution::Freq(Tensor3::zeros(Vec3::one())));
+        a.accumulate(Contribution::Freq(Spectrum::zeros(Vec3::one())));
     }
 
     #[test]
@@ -190,7 +213,7 @@ mod tests {
         for _ in 0..5 {
             let _ = cache.get_or_compute(Vec3::cube(4), || {
                 computes.fetch_add(1, Ordering::SeqCst);
-                Tensor3::zeros(Vec3::cube(4))
+                Spectrum::zeros(Vec3::cube(4))
             });
         }
         assert_eq!(computes.load(Ordering::SeqCst), 1);
@@ -198,7 +221,7 @@ mod tests {
         cache.clear();
         let _ = cache.get_or_compute(Vec3::cube(4), || {
             computes.fetch_add(1, Ordering::SeqCst);
-            Tensor3::zeros(Vec3::cube(4))
+            Spectrum::zeros(Vec3::cube(4))
         });
         assert_eq!(computes.load(Ordering::SeqCst), 2);
     }
@@ -206,9 +229,9 @@ mod tests {
     #[test]
     fn spectrum_cache_keys_by_shape() {
         let cache = SpectrumCache::default();
-        let a = cache.get_or_compute(Vec3::cube(4), || Tensor3::zeros(Vec3::cube(4)));
-        let b = cache.get_or_compute(Vec3::cube(8), || Tensor3::zeros(Vec3::cube(8)));
-        assert_ne!(a.shape(), b.shape());
+        let a = cache.get_or_compute(Vec3::cube(4), || Spectrum::zeros(Vec3::cube(4)));
+        let b = cache.get_or_compute(Vec3::cube(8), || Spectrum::zeros(Vec3::cube(8)));
+        assert_ne!(a.full_shape(), b.full_shape());
         assert_eq!(cache.len(), 2);
     }
 }

@@ -33,10 +33,10 @@ fn learns_a_teacher_network() {
     let znn = Znn::new(boundary_net(), out, cfg).unwrap();
     let mut teacher = znn_baseline::ReferenceNet::new(boundary_net(), out, 99).unwrap();
     let x = ops::random(znn.input_shape(), 3);
-    let target = teacher.forward(&[x.clone()]).remove(0);
+    let target = teacher.forward(std::slice::from_ref(&x)).remove(0);
     let mut losses = Vec::new();
     for _ in 0..300 {
-        losses.push(znn.train_step(&[x.clone()], &[target.clone()]));
+        losses.push(znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&target)));
     }
     let early = losses[0];
     let late: f64 = losses[290..].iter().sum::<f64>() / 10.0;
@@ -84,11 +84,11 @@ fn momentum_and_weight_decay_change_the_trajectory_but_still_learn() {
     let t = Tensor3::filled(out, 0.5f32);
     let mut l_plain = f64::INFINITY;
     let mut l_fancy = f64::INFINITY;
-    let l0_plain = plain.train_step(&[x.clone()], &[t.clone()]);
-    let l0_fancy = fancy.train_step(&[x.clone()], &[t.clone()]);
+    let l0_plain = plain.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
+    let l0_fancy = fancy.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
     for _ in 0..25 {
-        l_plain = plain.train_step(&[x.clone()], &[t.clone()]);
-        l_fancy = fancy.train_step(&[x.clone()], &[t.clone()]);
+        l_plain = plain.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
+        l_fancy = fancy.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
     }
     assert!(l_plain < l0_plain, "plain SGD failed to learn");
     assert!(l_fancy < l0_fancy, "momentum SGD failed to learn");
@@ -109,15 +109,15 @@ fn dropout_masks_forward_and_is_disabled_at_inference() {
     let x = ops::random(znn.input_shape(), 31);
     let t = Tensor3::filled(out, 0.5f32);
     // training losses vary round to round because masks differ
-    let l1 = znn.train_step(&[x.clone()], &[t.clone()]);
-    let l2 = znn.train_step(&[x.clone()], &[t.clone()]);
+    let l1 = znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
+    let l2 = znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
     assert!(
         (l1 - l2).abs() > 1e-9,
         "dropout masks did not vary across rounds"
     );
     // inference is deterministic and mask-free
-    let y1 = znn.forward(&[x.clone()]);
-    let y2 = znn.forward(&[x.clone()]);
+    let y1 = znn.forward(std::slice::from_ref(&x));
+    let y2 = znn.forward(std::slice::from_ref(&x));
     assert_eq!(y1[0], y2[0]);
 }
 
@@ -129,7 +129,7 @@ fn force_statistics_account_for_every_update() {
     let t = Tensor3::filled(out, 0.5f32);
     let rounds = 10u64;
     for _ in 0..rounds {
-        znn.train_step(&[x.clone()], &[t.clone()]);
+        znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
     }
     znn.flush_updates();
     let stats = znn.stats();
@@ -159,7 +159,7 @@ fn heap_of_lists_sees_few_distinct_priorities() {
     let znn = Znn::new(g, Vec3::cube(2), TrainConfig::test_default(1)).unwrap();
     let x = ops::random(znn.input_shape(), 51);
     let t = Tensor3::filled(Vec3::cube(2), 0.1f32);
-    znn.train_step(&[x.clone()], &[t.clone()]);
+    znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
     znn.train_step(&[x], &[t]);
     let stats = znn.stats();
     assert!(stats.peak_distinct_priorities > 0);
@@ -182,7 +182,7 @@ fn memoized_spectra_are_bounded_and_cleared() {
     let x = ops::random(znn.input_shape(), 61);
     let t = Tensor3::filled(out, 0.5f32);
     for _ in 0..3 {
-        znn.train_step(&[x.clone()], &[t.clone()]);
+        znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
     }
     // caches hold at most a handful of spectra per node (one shape per
     // pass direction here)
@@ -248,8 +248,8 @@ fn work_stealing_scheduler_trains_identically() {
     let x = ops::random(queue.input_shape(), 71);
     let t = Tensor3::filled(out, 0.5f32);
     for round in 0..5 {
-        let a = queue.train_step(&[x.clone()], &[t.clone()]);
-        let b = steal.train_step(&[x.clone()], &[t.clone()]);
+        let a = queue.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
+        let b = steal.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
         assert!((a - b).abs() < 1e-4 * (1.0 + a.abs()), "round {round}: {a} vs {b}");
     }
     assert!(queue.params().max_abs_diff(&steal.params()) < 1e-3);

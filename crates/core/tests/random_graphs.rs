@@ -38,8 +38,7 @@ fn random_net() -> impl Strategy<Value = RandomNet> {
                     .wrapping_add(1442695040888963407);
                 (rng >> 33) as usize
             };
-            for l in 1..layers.min(widths.len()) {
-                let width = widths[l];
+            for (l, &width) in widths.iter().enumerate().take(layers).skip(1) {
                 let cur: Vec<_> = (0..width)
                     .map(|i| g.add_node(format!("l{l}/{i}")))
                     .collect();

@@ -24,7 +24,7 @@ pub fn fft_conv_valid(engine: &FftEngine, img: &Image, ker: &Image) -> Image {
     let m = good_shape(n.full_conv(k));
     let a = engine.forward_padded(img, m);
     let b = engine.forward_padded(ker, m);
-    let prod = ops::mul_c(&a, &b);
+    let prod = ops::mul_s(&a, &b);
     engine.inverse_real(prod, k - Vec3::one(), out_shape)
 }
 
@@ -37,7 +37,7 @@ pub fn fft_conv_full(engine: &FftEngine, img: &Image, ker: &Image) -> Image {
     let m = good_shape(out_shape);
     let a = engine.forward_padded(img, m);
     let b = engine.forward_padded(ker, m);
-    let prod = ops::mul_c(&a, &b);
+    let prod = ops::mul_s(&a, &b);
     engine.inverse_real(prod, Vec3::zero(), out_shape)
 }
 

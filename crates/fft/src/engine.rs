@@ -2,10 +2,12 @@
 
 use parking_lot::Mutex;
 use rustfft::{Fft, FftPlanner};
+use std::cell::RefCell;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
 use znn_tensor::lines::{Axis, LineSpec};
-use znn_tensor::{ops, CImage, Complex32, Image, Vec3};
+use znn_tensor::{ops, CImage, Complex32, Image, Spectrum, Vec3};
 
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 enum Dir {
@@ -13,19 +15,64 @@ enum Dir {
     Inv,
 }
 
-/// A 3D complex FFT built from cached 1D `rustfft` plans.
+thread_local! {
+    /// Per-thread scratch reused across every transform this thread
+    /// runs: FFT in-place scratch, a line gather buffer, and the packed
+    /// z-line buffer of the r2c/c2r stages. Transforms are hot (one per
+    /// image per pass) — allocating these per call was measurable.
+    static SCRATCH: RefCell<ScratchBuffers> = RefCell::new(ScratchBuffers::default());
+}
+
+#[derive(Default)]
+struct ScratchBuffers {
+    /// `Fft::process_with_scratch` scratch.
+    plan: Vec<Complex32>,
+    /// Gathered strided line (x/y axes) or packed z-line.
+    line: Vec<Complex32>,
+}
+
+/// Grows (never shrinks) `buf` to `n` elements and returns the prefix.
+fn borrow_buf(buf: &mut Vec<Complex32>, n: usize) -> &mut [Complex32] {
+    if buf.len() < n {
+        buf.resize(n, Complex32::default());
+    }
+    &mut buf[..n]
+}
+
+/// Plan cache: one planned 1D transform per (line length, direction).
+type PlanMap = HashMap<(usize, Dir), Arc<dyn Fft<f32>>>;
+/// r2c twiddle cache: one table per (z extent, direction).
+type TwiddleMap = HashMap<(usize, Dir), Arc<Vec<Complex32>>>;
+
+/// A 3D FFT for real-valued images, built from cached 1D `rustfft`
+/// plans.
 ///
 /// The engine is cheap to share (`Arc<FftEngine>`) and thread-safe: the
 /// plan cache is behind a mutex that is only touched on cache misses;
-/// the transforms themselves run lock-free on caller-owned buffers.
+/// the transforms themselves run lock-free on caller-owned buffers plus
+/// per-thread scratch.
+///
+/// Two transform families are exposed:
+///
+/// * **r2c / c2r** ([`FftEngine::rfft3`], [`FftEngine::irfft3`] and the
+///   staged [`FftEngine::forward_padded`] / [`FftEngine::inverse_real`])
+///   — the production path. Real input makes the spectrum Hermitian, so
+///   only `⌊m_z/2⌋+1` z-bins are stored ([`Spectrum`]); the z-stage
+///   packs each real line into a half-length complex line (even/odd
+///   trick), so z transforms also cost half the FLOPs.
+/// * **c2c** ([`FftEngine::fft3`], [`FftEngine::ifft3`]) — full complex
+///   transforms, kept for parity tests and as the r2c baseline.
 ///
 /// Transforms are decomposed per axis. Lines along the fastest (`z`)
 /// axis are processed in place on the contiguous buffer; `x`/`y` lines
-/// are gathered into a scratch buffer, transformed in bulk, and
-/// scattered back.
+/// are gathered into per-thread scratch, transformed, and scattered
+/// back.
 pub struct FftEngine {
     planner: Mutex<FftPlanner<f32>>,
-    plans: Mutex<HashMap<(usize, Dir), Arc<dyn Fft<f32>>>>,
+    plans: Mutex<PlanMap>,
+    /// Memoized unpack/repack twiddles `e^{∓2πik/n}`, `k ∈ 0..⌊n/2⌋+1`,
+    /// for the r2c/c2r z-stages, keyed by `(n, direction)`.
+    rtwiddles: Mutex<TwiddleMap>,
 }
 
 impl FftEngine {
@@ -34,25 +81,46 @@ impl FftEngine {
         FftEngine {
             planner: Mutex::new(FftPlanner::new()),
             plans: Mutex::new(HashMap::new()),
+            rtwiddles: Mutex::new(HashMap::new()),
         }
     }
 
     fn plan(&self, len: usize, dir: Dir) -> Arc<dyn Fft<f32>> {
-        if let Some(p) = self.plans.lock().get(&(len, dir)) {
-            return Arc::clone(p);
-        }
-        let plan = {
-            let mut planner = self.planner.lock();
-            match dir {
-                Dir::Fwd => planner.plan_fft_forward(len),
-                Dir::Inv => planner.plan_fft_inverse(len),
+        // single lock pass: concurrent misses for the same key build the
+        // plan once — the loser of the entry race never plans at all
+        let mut plans = self.plans.lock();
+        match plans.entry((len, dir)) {
+            Entry::Occupied(e) => Arc::clone(e.get()),
+            Entry::Vacant(e) => {
+                let mut planner = self.planner.lock();
+                let plan = match dir {
+                    Dir::Fwd => planner.plan_fft_forward(len),
+                    Dir::Inv => planner.plan_fft_inverse(len),
+                };
+                Arc::clone(e.insert(plan))
             }
-        };
-        self.plans
-            .lock()
-            .entry((len, dir))
-            .or_insert_with(|| Arc::clone(&plan));
-        plan
+        }
+    }
+
+    /// Half-spectrum twiddles `e^{sign·2πik/n}` for `k ∈ 0..⌊n/2⌋+1`.
+    fn rtwiddle(&self, n: usize, dir: Dir) -> Arc<Vec<Complex32>> {
+        let mut cache = self.rtwiddles.lock();
+        match cache.entry((n, dir)) {
+            Entry::Occupied(e) => Arc::clone(e.get()),
+            Entry::Vacant(e) => {
+                let sign = match dir {
+                    Dir::Fwd => -1.0f64,
+                    Dir::Inv => 1.0f64,
+                };
+                let tw: Vec<Complex32> = (0..n / 2 + 1)
+                    .map(|k| {
+                        let ang = sign * 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                        Complex32::new(ang.cos() as f32, ang.sin() as f32)
+                    })
+                    .collect();
+                Arc::clone(e.insert(Arc::new(tw)))
+            }
+        }
     }
 
     /// Number of distinct 1D plans currently cached.
@@ -67,19 +135,22 @@ impl FftEngine {
             return; // a length-1 DFT is the identity
         }
         let plan = self.plan(len, dir);
-        let mut scratch = vec![Complex32::default(); plan.get_inplace_scratch_len()];
-        if axis == Axis::Z {
-            // contiguous lines: process the whole buffer in chunks of len
-            plan.process_with_scratch(t.as_mut_slice(), &mut scratch);
-            return;
-        }
-        let spec = LineSpec::new(shape, axis);
-        let mut buf = vec![Complex32::default(); spec.len];
-        for i in 0..spec.count {
-            spec.read_line(t, i, &mut buf);
-            plan.process_with_scratch(&mut buf, &mut scratch);
-            spec.write_line(t, i, &buf);
-        }
+        SCRATCH.with(|s| {
+            let s = &mut *s.borrow_mut();
+            let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
+            if axis == Axis::Z {
+                // contiguous lines: process the whole buffer in chunks of len
+                plan.process_with_scratch(t.as_mut_slice(), scratch);
+                return;
+            }
+            let spec = LineSpec::new(shape, axis);
+            let buf = borrow_buf(&mut s.line, spec.len);
+            for i in 0..spec.count {
+                spec.read_line(t, i, buf);
+                plan.process_with_scratch(buf, scratch);
+                spec.write_line(t, i, buf);
+            }
+        });
     }
 
     /// In-place forward 3D FFT (unnormalized, like fftw/MKL).
@@ -97,11 +168,182 @@ impl FftEngine {
         ops::scale_c(t, 1.0 / t.len() as f32);
     }
 
-    /// The forward transform of the staged convolution API: zero-pads a
-    /// real image to `shape` (placing it at the origin) and transforms.
+    /// Forward real-to-complex 3D FFT of `img` (unnormalized): the
+    /// half-spectrum holding z-bins `0..=⌊m_z/2⌋` of the full DFT.
     ///
-    /// This is the per-node transform that convergent edges share (§IV).
-    pub fn forward_padded(&self, img: &Image, shape: Vec3) -> CImage {
+    /// The z-stage exploits Hermitian symmetry: an even-length real
+    /// line of `m_z` samples is packed as `⌊m_z/2⌋` complex samples
+    /// (`z[t] = x[2t] + i·x[2t+1]`), transformed at half length, and
+    /// unpacked into `⌊m_z/2⌋+1` bins — half the z FLOPs and half the
+    /// spectrum memory of the c2c path. Odd z extents fall back to a
+    /// full-length transform per line, truncated to the stored bins
+    /// (`good_shape` keeps z even, so this path is cold). The remaining
+    /// `y`/`x` stages are c2c transforms over the (already halved)
+    /// packed tensor.
+    pub fn rfft3(&self, img: &Image) -> Spectrum {
+        let m = img.shape();
+        let mz = m[2];
+        let h = mz / 2 + 1;
+        let mut half = CImage::zeros(Spectrum::half_shape(m));
+        let lines = m[0] * m[1];
+        if mz == 1 {
+            for (d, s) in half.as_mut_slice().iter_mut().zip(img.as_slice()) {
+                *d = Complex32::new(*s, 0.0);
+            }
+        } else if mz.is_multiple_of(2) {
+            let hz = mz / 2;
+            let plan = (hz > 1).then(|| self.plan(hz, Dir::Fwd));
+            let tw = self.rtwiddle(mz, Dir::Fwd);
+            SCRATCH.with(|s| {
+                let s = &mut *s.borrow_mut();
+                let scratch = borrow_buf(
+                    &mut s.plan,
+                    plan.as_ref().map_or(0, |p| p.get_inplace_scratch_len()),
+                );
+                let buf = borrow_buf(&mut s.line, hz);
+                for i in 0..lines {
+                    let src = &img.as_slice()[i * mz..(i + 1) * mz];
+                    for (t, b) in buf.iter_mut().enumerate() {
+                        *b = Complex32::new(src[2 * t], src[2 * t + 1]);
+                    }
+                    if let Some(p) = &plan {
+                        p.process_with_scratch(buf, scratch);
+                    }
+                    let dst = &mut half.as_mut_slice()[i * h..(i + 1) * h];
+                    for (k, d) in dst.iter_mut().enumerate() {
+                        let zk = buf[k % hz];
+                        let zc = buf[(hz - k) % hz].conj();
+                        let ze = (zk + zc) * 0.5;
+                        let zo = (zk - zc) * Complex32::new(0.0, -0.5);
+                        *d = ze + tw[k] * zo;
+                    }
+                }
+            });
+        } else {
+            let plan = self.plan(mz, Dir::Fwd);
+            SCRATCH.with(|s| {
+                let s = &mut *s.borrow_mut();
+                let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
+                let buf = borrow_buf(&mut s.line, mz);
+                for i in 0..lines {
+                    let src = &img.as_slice()[i * mz..(i + 1) * mz];
+                    for (b, v) in buf.iter_mut().zip(src) {
+                        *b = Complex32::new(*v, 0.0);
+                    }
+                    plan.process_with_scratch(buf, scratch);
+                    half.as_mut_slice()[i * h..(i + 1) * h].copy_from_slice(&buf[..h]);
+                }
+            });
+        }
+        self.transform_axis(&mut half, Axis::Y, Dir::Fwd);
+        self.transform_axis(&mut half, Axis::X, Dir::Fwd);
+        Spectrum::new(half, m)
+    }
+
+    /// Inverse of [`FftEngine::rfft3`], normalized so
+    /// `irfft3(rfft3(x)) == x`. Consumes the spectrum (the inverse is
+    /// computed in place on its buffer).
+    pub fn irfft3(&self, spec: Spectrum) -> Image {
+        let m = spec.full_shape();
+        let mz = m[2];
+        let h = mz / 2 + 1;
+        let mut half = spec.into_half();
+        self.transform_axis(&mut half, Axis::X, Dir::Inv);
+        self.transform_axis(&mut half, Axis::Y, Dir::Inv);
+        let mut out = Image::zeros(m);
+        let lines = m[0] * m[1];
+        // the x/y inverse stages above are unnormalized (m_x·m_y), the
+        // z-stage below contributes hz (even), mz (odd) or 1 (unit)
+        let zfac = if mz == 1 {
+            1
+        } else if mz.is_multiple_of(2) {
+            mz / 2
+        } else {
+            mz
+        };
+        let scale = 1.0 / (m[0] * m[1] * zfac) as f32;
+        if mz == 1 {
+            for (d, s) in out.as_mut_slice().iter_mut().zip(half.as_slice()) {
+                *d = s.re * scale;
+            }
+        } else if mz.is_multiple_of(2) {
+            let hz = mz / 2;
+            let plan = (hz > 1).then(|| self.plan(hz, Dir::Inv));
+            let tw = self.rtwiddle(mz, Dir::Inv);
+            SCRATCH.with(|s| {
+                let s = &mut *s.borrow_mut();
+                let scratch = borrow_buf(
+                    &mut s.plan,
+                    plan.as_ref().map_or(0, |p| p.get_inplace_scratch_len()),
+                );
+                let buf = borrow_buf(&mut s.line, hz);
+                for i in 0..lines {
+                    let src = &half.as_slice()[i * h..(i + 1) * h];
+                    for (k, b) in buf.iter_mut().enumerate() {
+                        let xk = src[k];
+                        let xc = src[hz - k].conj();
+                        let ze = (xk + xc) * 0.5;
+                        let zo = (xk - xc) * 0.5 * tw[k];
+                        // z[k] = ze + i·zo repacks even/odd interleaving
+                        *b = Complex32::new(ze.re - zo.im, ze.im + zo.re);
+                    }
+                    if let Some(p) = &plan {
+                        p.process_with_scratch(buf, scratch);
+                    }
+                    let dst = &mut out.as_mut_slice()[i * mz..(i + 1) * mz];
+                    for (t, b) in buf.iter().enumerate() {
+                        dst[2 * t] = b.re * scale;
+                        dst[2 * t + 1] = b.im * scale;
+                    }
+                }
+            });
+        } else {
+            let plan = self.plan(mz, Dir::Inv);
+            SCRATCH.with(|s| {
+                let s = &mut *s.borrow_mut();
+                let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
+                let buf = borrow_buf(&mut s.line, mz);
+                for i in 0..lines {
+                    let src = &half.as_slice()[i * h..(i + 1) * h];
+                    buf[..h].copy_from_slice(src);
+                    // Hermitian reconstruction of the dropped bins
+                    for k in 1..h {
+                        buf[mz - k] = src[k].conj();
+                    }
+                    plan.process_with_scratch(buf, scratch);
+                    let dst = &mut out.as_mut_slice()[i * mz..(i + 1) * mz];
+                    for (d, b) in dst.iter_mut().zip(buf.iter()) {
+                        *d = b.re * scale;
+                    }
+                }
+            });
+        }
+        out
+    }
+
+    /// The forward transform of the staged convolution API: zero-pads a
+    /// real image to `shape` (placing it at the origin) and takes its
+    /// r2c transform.
+    ///
+    /// This is the per-node transform that convergent edges share (§IV);
+    /// each memoized result is a [`Spectrum`] occupying roughly half the
+    /// memory of the full complex transform.
+    pub fn forward_padded(&self, img: &Image, shape: Vec3) -> Spectrum {
+        assert!(
+            img.shape().le(shape),
+            "image {} does not fit transform shape {shape}",
+            img.shape()
+        );
+        if img.shape() == shape {
+            self.rfft3(img)
+        } else {
+            self.rfft3(&znn_tensor::pad::pad(img, shape, Vec3::zero()))
+        }
+    }
+
+    /// c2c variant of [`FftEngine::forward_padded`], kept as the parity
+    /// baseline (tests, benches, autotune comparisons).
+    pub fn forward_padded_c2c(&self, img: &Image, shape: Vec3) -> CImage {
         assert!(
             img.shape().le(shape),
             "image {} does not fit transform shape {shape}",
@@ -119,7 +361,18 @@ impl FftEngine {
     /// The inverse stage: transforms a frequency-domain accumulator back
     /// and extracts the real box of `shape` at `at` — the crop that turns
     /// circular convolution into valid/full linear convolution.
-    pub fn inverse_real(&self, mut spec: CImage, at: Vec3, shape: Vec3) -> Image {
+    pub fn inverse_real(&self, spec: Spectrum, at: Vec3, shape: Vec3) -> Image {
+        let real = self.irfft3(spec);
+        if at == Vec3::zero() && shape == real.shape() {
+            real
+        } else {
+            znn_tensor::pad::crop(&real, at, shape)
+        }
+    }
+
+    /// c2c variant of [`FftEngine::inverse_real`], kept as the parity
+    /// baseline.
+    pub fn inverse_real_c2c(&self, mut spec: CImage, at: Vec3, shape: Vec3) -> Image {
         self.ifft3(&mut spec);
         let real = ops::to_real(&spec);
         if at == Vec3::zero() && shape == real.shape() {
@@ -176,6 +429,13 @@ mod tests {
             .zip(b.as_slice())
             .map(|(x, y)| (x - y).norm())
             .fold(0.0, f32::max)
+    }
+
+    /// The half-spectrum a c2c transform implies: z-bins `0..=⌊m_z/2⌋`.
+    fn truncate_to_half(full: &CImage) -> CImage {
+        let m = full.shape();
+        let hs = Spectrum::half_shape(m);
+        znn_tensor::Tensor3::from_fn(hs, |f| full.at(f))
     }
 
     #[test]
@@ -244,14 +504,100 @@ mod tests {
     }
 
     #[test]
-    fn forward_padded_equals_manual_pad_then_fft() {
+    fn rfft3_matches_c2c_on_even_odd_and_unit_z() {
+        // parity with both the c2c engine and (through it) the naive
+        // DFT, on even z, odd z, unit z, and flat 2D shapes
+        let engine = FftEngine::new();
+        for shape in [
+            Vec3::cube(8),                // even z
+            Vec3::new(4, 6, 10),          // even z, mixed extents
+            Vec3::new(4, 3, 5),           // odd z
+            Vec3::new(3, 4, 7),           // odd prime z
+            Vec3::new(5, 5, 1),           // unit z
+            Vec3::new(1, 8, 6),           // unit x
+            Vec3::new(1, 1, 2),           // minimal even line
+            Vec3::flat(6, 9),             // flat 2D
+        ] {
+            let img = ops::random(shape, 21);
+            let got = engine.rfft3(&img);
+            assert_eq!(got.full_shape(), shape);
+            assert_eq!(got.half().shape(), Spectrum::half_shape(shape));
+            let mut full = ops::to_complex(&img);
+            engine.fft3(&mut full);
+            let want = truncate_to_half(&full);
+            assert!(
+                max_cdiff(got.half(), &want) < 1e-3,
+                "r2c mismatch on {shape}: {}",
+                max_cdiff(got.half(), &want)
+            );
+        }
+    }
+
+    #[test]
+    fn irfft3_round_trips_rfft3() {
+        let engine = FftEngine::new();
+        for shape in [
+            Vec3::cube(8),
+            Vec3::new(4, 6, 10),
+            Vec3::new(4, 3, 5),
+            Vec3::new(5, 5, 1),
+            Vec3::new(1, 16, 16),
+            Vec3::new(2, 2, 2),
+            Vec3::cube(5),
+        ] {
+            let img = ops::random(shape, 31);
+            let back = engine.irfft3(engine.rfft3(&img));
+            assert!(
+                back.max_abs_diff(&img) < 1e-5,
+                "r2c round trip failed {shape}: {}",
+                back.max_abs_diff(&img)
+            );
+        }
+    }
+
+    #[test]
+    fn rfft3_dc_bin_is_total_mass() {
+        let engine = FftEngine::new();
+        let img = ops::random(Vec3::new(4, 6, 8), 41);
+        let spec = engine.rfft3(&img);
+        let dc = spec.half().at((0, 0, 0));
+        assert!((dc.re - img.sum()).abs() < 1e-4);
+        assert!(dc.im.abs() < 1e-4);
+    }
+
+    #[test]
+    fn forward_padded_matches_c2c_truncation() {
+        let engine = FftEngine::new();
+        let img = ops::random(Vec3::cube(3), 2);
+        for shape in [Vec3::cube(8), Vec3::new(6, 4, 10), Vec3::new(9, 5, 3)] {
+            let a = engine.forward_padded(&img, shape);
+            let b = engine.forward_padded_c2c(&img, shape);
+            assert!(max_cdiff(a.half(), &truncate_to_half(&b)) < 1e-3, "{shape}");
+        }
+    }
+
+    #[test]
+    fn forward_padded_equals_manual_pad_then_rfft3() {
         let engine = FftEngine::new();
         let img = ops::random(Vec3::cube(3), 2);
         let shape = Vec3::cube(8);
         let a = engine.forward_padded(&img, shape);
-        let mut b = ops::to_complex(&znn_tensor::pad::pad(&img, shape, Vec3::zero()));
-        engine.fft3(&mut b);
-        assert!(max_cdiff(&a, &b) == 0.0);
+        let b = engine.rfft3(&znn_tensor::pad::pad(&img, shape, Vec3::zero()));
+        assert!(max_cdiff(a.half(), b.half()) == 0.0);
+    }
+
+    #[test]
+    fn inverse_real_crops_like_c2c() {
+        let engine = FftEngine::new();
+        let m = Vec3::cube(8);
+        let img = ops::random(m, 55);
+        let spec = engine.rfft3(&img);
+        let c2c = engine.forward_padded_c2c(&img, m);
+        let at = Vec3::new(2, 1, 0);
+        let shape = Vec3::new(4, 5, 6);
+        let a = engine.inverse_real(spec, at, shape);
+        let b = engine.inverse_real_c2c(c2c, at, shape);
+        assert!(a.max_abs_diff(&b) < 1e-5);
     }
 
     #[test]
@@ -262,6 +608,8 @@ mod tests {
                 let engine = std::sync::Arc::clone(&engine);
                 std::thread::spawn(move || {
                     let img = ops::random(Vec3::cube(8), seed);
+                    let back = engine.irfft3(engine.rfft3(&img));
+                    assert!(back.max_abs_diff(&img) < 1e-5);
                     let mut c = ops::to_complex(&img);
                     engine.fft3(&mut c);
                     engine.ifft3(&mut c);
@@ -272,5 +620,29 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn concurrent_plan_misses_build_one_plan() {
+        // the entry()-based plan cache must hand every racing thread
+        // the same plan and count it once
+        let engine = std::sync::Arc::new(FftEngine::new());
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let engine = std::sync::Arc::clone(&engine);
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let img = ops::random(Vec3::cube(12), 7);
+                    let _ = engine.rfft3(&img);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // lengths planned: 6 (packed z), 12 (y/x) forward -> exactly 2
+        assert_eq!(engine.cached_plans(), 2);
     }
 }

@@ -5,22 +5,50 @@
 //! the transform of an image at a node is **shared** by every edge at
 //! that node, and transforms computed in the forward pass are
 //! **memoized** for the backward and update passes (Table II). This
-//! crate provides the pieces that make that sharing expressible:
+//! crate provides the pieces that make that sharing expressible.
 //!
-//! * [`FftEngine`] — a 3D complex FFT decomposed into per-axis 1D
-//!   transforms, with a cache of [`rustfft`] plans keyed by line length,
-//! * [`good_size`] / [`good_shape`] — 5-smooth transform sizes,
-//! * padded forward transforms and crop-on-inverse helpers that give
-//!   *valid* and *full* linear convolution semantics on top of the
-//!   circular convolution the FFT computes,
-//! * a staged API (`forward_padded` → pointwise multiply-accumulate in
-//!   `znn_tensor::ops` → `inverse_real`) so callers can accumulate
-//!   convergent convolutions **in the frequency domain** and pay one
-//!   inverse transform per node rather than one per edge — exactly the
-//!   `f' + f + f'·f` term structure of Table II.
+//! # Real-to-complex transforms and the half-spectrum layout
 //!
-//! The paper used MKL/fftw; `rustfft` replaces them (see DESIGN.md —
-//! same asymptotics, different constant).
+//! Every image entering a transform here is *real*, so its DFT is
+//! Hermitian: `X[−f] = conj(X[f])`. The engine exploits this the same
+//! way FFTW/MKL r2c plans do:
+//!
+//! * **Storage.** A spectrum is a [`znn_tensor::Spectrum`]: the z-bins
+//!   `0..=⌊m_z/2⌋` of the full transform (`⌊m_z/2⌋+1` complex values
+//!   per z-line) plus the logical full shape. The dropped bins are
+//!   implied by symmetry. This halves the size of every memoized
+//!   spectrum — the paper's main RAM consumer (§IV).
+//! * **Compute.** The z-stage packs each even-length real line of
+//!   `m_z` samples into `m_z/2` complex samples
+//!   (`z[t] = x[2t] + i·x[2t+1]`), runs a half-length complex FFT, and
+//!   unpacks with one twiddle pass — ~2× fewer z FLOPs. The `y`/`x`
+//!   stages are ordinary c2c line transforms over the already-halved
+//!   tensor, so they also do half the work of the c2c pipeline.
+//! * **Padding discipline.** Transform shapes come from
+//!   [`good_shape`]: 5-smooth per axis, and *even* on `z`
+//!   ([`good_size_even`]) so the packed z-stage always applies and the
+//!   half-spectrum is tight. Odd z extents still work (a full-length
+//!   fallback per line, truncated to the stored bins) — they are just
+//!   slower, and `good_shape` avoids them. Unit axes are never
+//!   inflated: a `z`-extent of 1 stays 1 (identity transform).
+//! * **Frequency-domain algebra.** Sums and pointwise products of
+//!   real-image spectra are still spectra of real images (Hermitian
+//!   symmetry is closed under both), so convergent-edge accumulation,
+//!   [`spectra::flip_spectrum`], and [`spectra::corr_spectrum`] all
+//!   operate directly on half-spectra at half cost.
+//!
+//! The staged API (`forward_padded` → pointwise multiply-accumulate in
+//! `znn_tensor::ops` (`mul_s`, `mul_add_assign_s`, `add_assign_s`) →
+//! `inverse_real`) lets callers accumulate convergent convolutions
+//! **in the frequency domain** and pay one inverse transform per node
+//! rather than one per edge — exactly the `f' + f + f'·f` term
+//! structure of Table II. Full c2c transforms ([`FftEngine::fft3`] /
+//! [`FftEngine::ifft3`], plus `*_c2c` staged variants) are retained as
+//! the parity baseline for tests and benchmarks.
+//!
+//! The paper used MKL/fftw; the planned-1D-transform decomposition here
+//! replaces them (see DESIGN.md — same asymptotics, different
+//! constant).
 
 #![warn(missing_docs)]
 
@@ -31,4 +59,4 @@ pub mod spectra;
 
 pub use conv::{fft_conv_full, fft_conv_valid, fft_xcorr_valid};
 pub use engine::FftEngine;
-pub use size::{good_shape, good_size};
+pub use size::{good_shape, good_size, good_size_even};

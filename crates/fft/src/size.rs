@@ -29,9 +29,27 @@ pub fn good_size(n: usize) -> usize {
     m
 }
 
-/// Applies [`good_size`] to every axis.
+/// The smallest *even* 5-smooth integer `>= n`, except that `n <= 1`
+/// stays `1` (a unit axis is the identity and must not be inflated).
+///
+/// Used for the `z` axis: the r2c z-stage packs an even-length real
+/// line into a half-length complex transform, so even z extents get
+/// the full 2× FLOP saving and the tight `m_z/2 + 1`-bin spectrum.
+pub fn good_size_even(n: usize) -> usize {
+    if n <= 1 {
+        return 1;
+    }
+    let mut m = n;
+    while !(m.is_multiple_of(2) && is_smooth(m)) {
+        m += 1;
+    }
+    m
+}
+
+/// Applies [`good_size`] to the `x`/`y` axes and [`good_size_even`] to
+/// the contiguous `z` axis, keeping the r2c half-spectrum packing tight.
 pub fn good_shape(s: Vec3) -> Vec3 {
-    Vec3::new(good_size(s[0]), good_size(s[1]), good_size(s[2]))
+    Vec3::new(good_size(s[0]), good_size(s[1]), good_size_even(s[2]))
 }
 
 #[cfg(test)]
@@ -76,5 +94,30 @@ mod tests {
             good_shape(Vec3::new(7, 11, 1)),
             Vec3::new(8, 12, 1)
         );
+    }
+
+    #[test]
+    fn good_size_even_prefers_even_z() {
+        // odd smooth sizes are skipped on the z axis: 5 -> 6, 9 -> 10,
+        // 15 -> 16, 25 -> 27 is odd so -> 30
+        assert_eq!(good_size_even(5), 6);
+        assert_eq!(good_size_even(9), 10);
+        assert_eq!(good_size_even(15), 16);
+        assert_eq!(good_size_even(25), 30);
+        assert_eq!(good_size_even(8), 8);
+        // unit axes stay unit (identity transform, 1-bin spectrum)
+        assert_eq!(good_size_even(1), 1);
+        assert_eq!(good_size_even(0), 1);
+        for n in 2..2048 {
+            let g = good_size_even(n);
+            assert!(g >= n && is_smooth(g) && g.is_multiple_of(2));
+            assert!(g < 2 * n, "even padding overhead >= 2x at {n}");
+        }
+    }
+
+    #[test]
+    fn good_shape_keeps_z_even() {
+        assert_eq!(good_shape(Vec3::new(7, 9, 9)), Vec3::new(8, 9, 10));
+        assert_eq!(good_shape(Vec3::cube(5)), Vec3::new(5, 5, 6));
     }
 }

@@ -6,25 +6,33 @@
 //! * the **backward** convolution needs the spectrum of the *reflected*
 //!   kernel. For a real kernel `w` with support `[0, K)` zero-padded to
 //!   `m`, `pad(flip(w)) = shift_{K−1}(reverse(pad(w)))`, so its DFT is
-//!   `conj(W[f]) · e^{−2πi·f·(K−1)/m}` per axis — a pointwise O(m³)
+//!   `conj(W[f]) · e^{−2πi·f·(K−1)/m}` per axis — a pointwise
 //!   derivation from the memoized forward spectrum `W`
 //!   ([`flip_spectrum`]);
 //! * the **update** pass needs the valid cross-correlation of the
 //!   forward image with the backward image, which is
 //!   `ifft(conj(X) ∘ G)` restricted to the kernel lattice
 //!   ([`corr_spectrum`]), reusing both memoized spectra.
+//!
+//! All identities here operate on half-spectra ([`Spectrum`]): every
+//! input is the transform of a *real* image, so the full spectra are
+//! Hermitian and products/linear combinations of them stay Hermitian —
+//! the stored `⌊m_z/2⌋+1` z-bins determine the rest. The pointwise
+//! loops therefore touch half the bins the c2c forms did.
 
 use crate::engine::FftEngine;
-use znn_tensor::{CImage, Complex32, Image, Tensor3, Vec3};
+use znn_tensor::{CImage, Complex32, Image, Spectrum, Tensor3, Vec3};
 
-/// Derives the spectrum of the padded, *reflected* kernel from the
-/// spectrum `w_spec` of the padded kernel, given the kernel's original
-/// support `k` (before padding). Pointwise — no FFT.
-pub fn flip_spectrum(w_spec: &CImage, k: Vec3) -> CImage {
-    let m = w_spec.shape();
+/// Derives the half-spectrum of the padded, *reflected* kernel from the
+/// half-spectrum `w_spec` of the padded kernel, given the kernel's
+/// original support `k` (before padding). Pointwise — no FFT.
+pub fn flip_spectrum(w_spec: &Spectrum, k: Vec3) -> Spectrum {
+    let m = w_spec.full_shape();
     let two_pi = 2.0 * std::f32::consts::PI;
-    Tensor3::from_fn(m, |f| {
-        let w = w_spec.at(f);
+    // stored z-bins are the true frequencies 0..=⌊m_z/2⌋, so the phase
+    // formula is unchanged; it just runs over half the lattice
+    let half: CImage = Tensor3::from_fn(w_spec.half().shape(), |f| {
+        let w = w_spec.half().at(f);
         let mut phase = 0.0f32;
         for a in 0..3 {
             if m[a] > 1 {
@@ -33,33 +41,52 @@ pub fn flip_spectrum(w_spec: &CImage, k: Vec3) -> CImage {
         }
         let rot = Complex32::new(phase.cos(), phase.sin());
         w.conj() * rot
-    })
+    });
+    Spectrum::new(half, m)
 }
 
-/// Pointwise `x_spec ∘ conj(g_spec)` — the spectrum whose inverse
+/// Pointwise `x_spec ∘ conj(g_spec)` — the half-spectrum whose inverse
 /// transform holds the cross-correlation `c[l] = Σ_o g[o]·x[o+l]`. With
 /// the usual padding discipline (both images padded to a transform at
 /// least as large as the forward image), lags `0..K` hold the linear
 /// correlation, i.e. the dilated-kernel gradient of §III-B (reflected;
 /// see [`kernel_gradient_from_corr`]).
-pub fn corr_spectrum(x_spec: &CImage, g_spec: &CImage) -> CImage {
-    assert_eq!(x_spec.shape(), g_spec.shape(), "spectrum shape mismatch");
+pub fn corr_spectrum(x_spec: &Spectrum, g_spec: &Spectrum) -> Spectrum {
+    assert_eq!(
+        x_spec.full_shape(),
+        g_spec.full_shape(),
+        "spectrum shape mismatch"
+    );
     let mut out = x_spec.clone();
-    for (o, g) in out.as_mut_slice().iter_mut().zip(g_spec.as_slice()) {
+    for (o, g) in out
+        .half_mut()
+        .as_mut_slice()
+        .iter_mut()
+        .zip(g_spec.half().as_slice())
+    {
         *o *= g.conj();
     }
     out
 }
 
 /// Accumulating form of [`corr_spectrum`]: `acc += x ∘ conj(g)`.
-pub fn corr_mul_add(acc: &mut CImage, x_spec: &CImage, g_spec: &CImage) {
-    assert_eq!(acc.shape(), x_spec.shape(), "spectrum shape mismatch");
-    assert_eq!(acc.shape(), g_spec.shape(), "spectrum shape mismatch");
+pub fn corr_mul_add(acc: &mut Spectrum, x_spec: &Spectrum, g_spec: &Spectrum) {
+    assert_eq!(
+        acc.full_shape(),
+        x_spec.full_shape(),
+        "spectrum shape mismatch"
+    );
+    assert_eq!(
+        acc.full_shape(),
+        g_spec.full_shape(),
+        "spectrum shape mismatch"
+    );
     for ((a, x), g) in acc
+        .half_mut()
         .as_mut_slice()
         .iter_mut()
-        .zip(x_spec.as_slice())
-        .zip(g_spec.as_slice())
+        .zip(x_spec.half().as_slice())
+        .zip(g_spec.half().as_slice())
     {
         *a += *x * g.conj();
     }
@@ -74,7 +101,7 @@ pub fn corr_mul_add(acc: &mut CImage, x_spec: &CImage, g_spec: &CImage) {
 /// sample of the first `k_dilated` lags.
 pub fn kernel_gradient_from_corr(
     engine: &FftEngine,
-    corr: CImage,
+    corr: Spectrum,
     k: Vec3,
     sparsity: Vec3,
 ) -> Image {
@@ -94,10 +121,12 @@ mod tests {
     use crate::size::good_shape;
     use znn_tensor::{ops, pad};
 
-    fn max_cdiff(a: &CImage, b: &CImage) -> f32 {
-        a.as_slice()
+    fn max_sdiff(a: &Spectrum, b: &Spectrum) -> f32 {
+        assert_eq!(a.full_shape(), b.full_shape());
+        a.half()
+            .as_slice()
             .iter()
-            .zip(b.as_slice())
+            .zip(b.half().as_slice())
             .map(|(x, y)| (x - y).norm())
             .fold(0.0, f32::max)
     }
@@ -109,15 +138,16 @@ mod tests {
             (Vec3::cube(3), Vec3::cube(8)),
             (Vec3::new(2, 3, 1), Vec3::new(6, 9, 1)),
             (Vec3::flat(5, 5), Vec3::flat(12, 10)),
+            (Vec3::cube(2), Vec3::new(4, 6, 5)), // odd z extent
         ] {
             let w = ops::random(k, 81);
             let w_spec = engine.forward_padded(&w, m);
             let derived = flip_spectrum(&w_spec, k);
             let direct = engine.forward_padded(&pad::flip(&w), m);
             assert!(
-                max_cdiff(&derived, &direct) < 1e-3,
+                max_sdiff(&derived, &direct) < 1e-3,
                 "k={k} m={m}: {}",
-                max_cdiff(&derived, &direct)
+                max_sdiff(&derived, &direct)
             );
         }
     }
@@ -207,7 +237,7 @@ mod tests {
         let w_spec = engine.forward_padded(&w, m);
         let v = flip_spectrum(&w_spec, k);
         let g_spec = engine.forward_padded(&g, m);
-        let prod = ops::mul_c(&g_spec, &v);
+        let prod = ops::mul_s(&g_spec, &v);
         // full conv of g (size n-k+1) with flip(w) (size k) has size n;
         // but the flipped kernel's spectrum encodes support [0,K) so the
         // product is the linear conv at offset 0

@@ -25,9 +25,11 @@ pub mod lines;
 pub mod ops;
 pub mod pad;
 mod shape;
+mod spectrum;
 mod tensor;
 
 pub use shape::Vec3;
+pub use spectrum::Spectrum;
 pub use tensor::Tensor3;
 
 /// Complex number type used by the FFT substrate.

@@ -5,7 +5,7 @@
 //! the `ADD-TO(v, v')` primitive of the paper's wait-free summation
 //! (Algorithm 4) and the pointwise stages of FFT convolution.
 
-use crate::{Complex32, Tensor3, Vec3};
+use crate::{Complex32, Spectrum, Tensor3, Vec3};
 
 /// `dst += src`, elementwise. Panics on shape mismatch.
 pub fn add_assign(dst: &mut Tensor3<f32>, src: &Tensor3<f32>) {
@@ -85,6 +85,53 @@ pub fn mul_assign(dst: &mut Tensor3<f32>, src: &Tensor3<f32>) {
     for (d, s) in dst.as_mut_slice().iter_mut().zip(src.as_slice()) {
         *d *= *s;
     }
+}
+
+/// `dst += src` for half-spectra (frequency-domain accumulation on the
+/// packed representation). Panics when the *logical* transform shapes
+/// differ — equal half shapes are not enough, see [`Spectrum`].
+pub fn add_assign_s(dst: &mut Spectrum, src: &Spectrum) {
+    assert_eq!(
+        dst.full_shape(),
+        src.full_shape(),
+        "add_assign_s logical shape mismatch"
+    );
+    add_assign_c(dst.half_mut(), src.half());
+}
+
+/// Elementwise half-spectrum product `a ∘ b` — the frequency-domain
+/// convolution kernel of §IV on the packed representation.
+pub fn mul_s(a: &Spectrum, b: &Spectrum) -> Spectrum {
+    assert_eq!(
+        a.full_shape(),
+        b.full_shape(),
+        "mul_s logical shape mismatch"
+    );
+    let mut out = a.clone();
+    for (d, s) in out.half_mut().as_mut_slice().iter_mut().zip(b.half().as_slice()) {
+        *d *= *s;
+    }
+    out
+}
+
+/// `dst += a ∘ b` for half-spectra.
+pub fn mul_add_assign_s(dst: &mut Spectrum, a: &Spectrum, b: &Spectrum) {
+    assert_eq!(
+        dst.full_shape(),
+        a.full_shape(),
+        "mul_add_assign_s logical shape mismatch"
+    );
+    assert_eq!(
+        dst.full_shape(),
+        b.full_shape(),
+        "mul_add_assign_s logical shape mismatch"
+    );
+    mul_add_assign_c(dst.half_mut(), a.half(), b.half());
+}
+
+/// `dst *= s` for half-spectra.
+pub fn scale_s(dst: &mut Spectrum, s: f32) {
+    scale_c(dst.half_mut(), s);
 }
 
 /// Widens a real tensor to complex (imaginary part zero) for the FFT.

@@ -1,0 +1,135 @@
+//! The half-spectrum representation of real-input 3D transforms.
+//!
+//! The DFT of a real image is Hermitian-symmetric: `X[-f] = conj(X[f])`.
+//! Storing only the non-negative `z` frequencies — `⌊m_z/2⌋ + 1` bins
+//! per z-line instead of `m_z` — halves the memory of every spectrum
+//! without losing information. [`Spectrum`] pairs that packed tensor
+//! with the *logical* full transform shape, so shape agreement between
+//! spectra (and the placement of the Nyquist bin) is checked once at
+//! construction instead of silently drifting at each pointwise op.
+
+use crate::{CImage, Vec3};
+
+/// A half-spectrum: the stored z-bins `0..=⌊m_z/2⌋` of the 3D DFT of a
+/// real image, plus the logical full transform shape.
+///
+/// Invariant: `half.shape() == Spectrum::half_shape(full)`. Pointwise
+/// frequency-domain ops must only combine spectra with equal `full`
+/// shapes — equal *half* shapes are not sufficient, because full z
+/// extents `2h-1` (odd) and `2h-2` (even) pack to the same `h` bins.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Spectrum {
+    half: CImage,
+    full: Vec3,
+}
+
+impl Spectrum {
+    /// The packed shape of a real transform of logical shape `full`:
+    /// same `x`/`y` extents, `⌊m_z/2⌋ + 1` z-bins.
+    #[inline]
+    pub fn half_shape(full: Vec3) -> Vec3 {
+        Vec3::new(full[0], full[1], full[2] / 2 + 1)
+    }
+
+    /// Wraps a packed tensor produced for a transform of shape `full`.
+    /// Panics if the tensor's shape is not the half shape of `full`.
+    pub fn new(half: CImage, full: Vec3) -> Self {
+        assert_eq!(
+            half.shape(),
+            Self::half_shape(full),
+            "half-spectrum shape {} does not match logical shape {full}",
+            half.shape()
+        );
+        Spectrum { half, full }
+    }
+
+    /// An all-zero spectrum for a transform of shape `full`.
+    pub fn zeros(full: Vec3) -> Self {
+        Spectrum {
+            half: CImage::zeros(Self::half_shape(full)),
+            full,
+        }
+    }
+
+    /// The logical (full) transform shape.
+    #[inline]
+    pub fn full_shape(&self) -> Vec3 {
+        self.full
+    }
+
+    /// The stored half-spectrum tensor.
+    #[inline]
+    pub fn half(&self) -> &CImage {
+        &self.half
+    }
+
+    /// Mutable access to the stored half-spectrum tensor.
+    #[inline]
+    pub fn half_mut(&mut self) -> &mut CImage {
+        &mut self.half
+    }
+
+    /// Consumes the spectrum, returning the packed tensor.
+    #[inline]
+    pub fn into_half(self) -> CImage {
+        self.half
+    }
+
+    /// Number of stored complex bins.
+    #[inline]
+    pub fn stored_bins(&self) -> usize {
+        self.half.len()
+    }
+
+    /// Bytes occupied by the stored bins.
+    #[inline]
+    pub fn stored_bytes(&self) -> usize {
+        self.stored_bins() * std::mem::size_of::<crate::Complex32>()
+    }
+
+    /// Bytes a full complex spectrum of the same logical shape would
+    /// occupy — the c2c cost this representation avoids.
+    #[inline]
+    pub fn full_bytes(&self) -> usize {
+        self.full.len() * std::mem::size_of::<crate::Complex32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_shape_counts_nonredundant_bins() {
+        assert_eq!(Spectrum::half_shape(Vec3::new(4, 6, 8)), Vec3::new(4, 6, 5));
+        assert_eq!(Spectrum::half_shape(Vec3::new(4, 6, 7)), Vec3::new(4, 6, 4));
+        assert_eq!(Spectrum::half_shape(Vec3::new(3, 3, 1)), Vec3::new(3, 3, 1));
+        assert_eq!(Spectrum::half_shape(Vec3::new(1, 1, 2)), Vec3::new(1, 1, 2));
+    }
+
+    #[test]
+    fn zeros_has_matching_shapes() {
+        let s = Spectrum::zeros(Vec3::new(2, 3, 6));
+        assert_eq!(s.full_shape(), Vec3::new(2, 3, 6));
+        assert_eq!(s.half().shape(), Vec3::new(2, 3, 4));
+        assert_eq!(s.stored_bins(), 24);
+        assert_eq!(s.stored_bytes(), 24 * 8);
+        assert_eq!(s.full_bytes(), 36 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match logical shape")]
+    fn rejects_mismatched_half_tensor() {
+        let _ = Spectrum::new(CImage::zeros(Vec3::new(2, 3, 6)), Vec3::new(2, 3, 6));
+    }
+
+    #[test]
+    fn even_and_odd_full_shapes_pack_differently() {
+        // 8 -> 5 bins, 9 -> 5 bins: same half shape, different logical
+        // shape — exactly why ops must compare full shapes.
+        let even = Spectrum::zeros(Vec3::new(1, 1, 8));
+        let odd = Spectrum::zeros(Vec3::new(1, 1, 9));
+        assert_eq!(even.half().shape(), odd.half().shape());
+        assert_ne!(even.full_shape(), odd.full_shape());
+    }
+}

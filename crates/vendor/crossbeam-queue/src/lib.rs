@@ -1,0 +1,76 @@
+//! Minimal offline stand-in for the `crossbeam-queue` crate.
+//!
+//! Provides [`SegQueue`] — an unbounded MPMC FIFO queue. Upstream is a
+//! lock-free segmented queue; this shim is a mutex-guarded `VecDeque`
+//! with the same API, which the allocator's recycling pools tolerate
+//! (pool operations are rare relative to the work they amortize).
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+/// An unbounded MPMC FIFO queue.
+#[derive(Debug)]
+pub struct SegQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> SegQueue<T> {
+    /// A new empty queue.
+    pub fn new() -> Self {
+        SegQueue {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a value onto the tail.
+    pub fn push(&self, value: T) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(value);
+    }
+
+    /// Pops the head value, if any.
+    pub fn pop(&self) -> Option<T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+    }
+
+    /// Number of queued values.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when no values are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for SegQueue<T> {
+    fn default() -> Self {
+        SegQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_len() {
+        let q = SegQueue::new();
+        assert!(q.is_empty());
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,167 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `deque` module surface the work-stealing scheduler
+//! uses: [`deque::Worker`], [`deque::Stealer`], [`deque::Injector`] and
+//! the [`deque::Steal`] result. The implementation is a mutex-guarded
+//! `VecDeque` rather than a lock-free Chase–Lev deque — semantically
+//! identical (LIFO owner pops, FIFO steals), slower under heavy
+//! contention, and trivially correct. Swap back to upstream crossbeam
+//! for the lock-free fast path.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Result of a steal attempt.
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// True when the caller should retry.
+        #[inline]
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        /// The stolen value, if any.
+        #[inline]
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// The owner's end of a work-stealing deque (LIFO pop).
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// A new deque whose owner pops in LIFO order.
+        pub fn new_lifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(task);
+        }
+
+        /// Pops the most recently pushed task (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_back()
+        }
+
+        /// A stealer handle sharing this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    /// A thief's end of a work-stealing deque (FIFO steal).
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the oldest task (FIFO), opposite the owner's end.
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+            {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    /// A shared FIFO queue for external task submissions.
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// A new empty injector.
+        pub fn new() -> Self {
+            Injector {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the tail.
+        pub fn push(&self, task: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(task);
+        }
+
+        /// Steals the head task.
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+            {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn owner_is_lifo_thief_is_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(s.steal().success(), Some(1));
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(w.pop(), Some(2));
+            assert!(w.pop().is_none());
+            assert!(matches!(s.steal(), Steal::Empty));
+        }
+
+        #[test]
+        fn injector_is_fifo() {
+            let i = Injector::new();
+            i.push("a");
+            i.push("b");
+            assert_eq!(i.steal().success(), Some("a"));
+            assert_eq!(i.steal().success(), Some("b"));
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Minimal offline stand-in for the `num-complex` crate.
+//!
+//! Provides the subset of `Complex<T>` the workspace uses: construction,
+//! conjugation, magnitude, and the ring operations (including scalar
+//! multiplication). The container is networkless, so the real crate
+//! cannot be fetched; this shim is API-compatible for the code here and
+//! can be swapped back for the upstream crate without source changes.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im`.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug, Hash)]
+#[repr(C)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+/// Single-precision complex number.
+pub type Complex32 = Complex<f32>;
+/// Double-precision complex number.
+pub type Complex64 = Complex<f64>;
+
+impl<T> Complex<T> {
+    /// A new complex number with the given real and imaginary parts.
+    #[inline]
+    pub const fn new(re: T, im: T) -> Self {
+        Complex { re, im }
+    }
+}
+
+impl<T: Copy + Neg<Output = T>> Complex<T> {
+    /// The complex conjugate `re - i·im`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+}
+
+impl<T> Complex<T>
+where
+    T: Copy + Add<Output = T> + Mul<Output = T>,
+{
+    /// Squared magnitude `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> T {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl Complex<f32> {
+    /// Magnitude `sqrt(re² + im²)`.
+    #[inline]
+    pub fn norm(self) -> f32 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// The additive identity.
+    pub const ZERO: Self = Complex::new(0.0, 0.0);
+}
+
+impl Complex<f64> {
+    /// Magnitude `sqrt(re² + im²)`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+}
+
+impl<T: Add<Output = T>> Add for Complex<T> {
+    type Output = Complex<T>;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl<T: Sub<Output = T>> Sub for Complex<T> {
+    type Output = Complex<T>;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl<T> Mul for Complex<T>
+where
+    T: Copy + Add<Output = T> + Sub<Output = T> + Mul<Output = T>,
+{
+    type Output = Complex<T>;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl<T: Copy + Mul<Output = T>> Mul<T> for Complex<T> {
+    type Output = Complex<T>;
+    #[inline]
+    fn mul(self, rhs: T) -> Self {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl<T: Copy + Div<Output = T>> Div<T> for Complex<T> {
+    type Output = Complex<T>;
+    #[inline]
+    fn div(self, rhs: T) -> Self {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl<T: Neg<Output = T>> Neg for Complex<T> {
+    type Output = Complex<T>;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+macro_rules! forward_ref_binop {
+    ($($trait:ident :: $method:ident),+) => {$(
+        impl<'a, T> $trait<&'a Complex<T>> for &'a Complex<T>
+        where
+            T: Copy,
+            Complex<T>: $trait<Complex<T>, Output = Complex<T>>,
+        {
+            type Output = Complex<T>;
+            #[inline]
+            fn $method(self, rhs: &'a Complex<T>) -> Complex<T> {
+                (*self).$method(*rhs)
+            }
+        }
+        impl<T> $trait<Complex<T>> for &Complex<T>
+        where
+            T: Copy,
+            Complex<T>: $trait<Complex<T>, Output = Complex<T>>,
+        {
+            type Output = Complex<T>;
+            #[inline]
+            fn $method(self, rhs: Complex<T>) -> Complex<T> {
+                (*self).$method(rhs)
+            }
+        }
+        impl<T> $trait<&Complex<T>> for Complex<T>
+        where
+            T: Copy,
+            Complex<T>: $trait<Complex<T>, Output = Complex<T>>,
+        {
+            type Output = Complex<T>;
+            #[inline]
+            fn $method(self, rhs: &Complex<T>) -> Complex<T> {
+                self.$method(*rhs)
+            }
+        }
+    )+};
+}
+
+forward_ref_binop!(Add::add, Sub::sub, Mul::mul);
+
+impl<T: Copy + Add<Output = T>> AddAssign for Complex<T> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = Complex::new(self.re + rhs.re, self.im + rhs.im);
+    }
+}
+
+impl<T: Copy + Sub<Output = T>> SubAssign for Complex<T> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = Complex::new(self.re - rhs.re, self.im - rhs.im);
+    }
+}
+
+impl<T> MulAssign for Complex<T>
+where
+    T: Copy + Add<Output = T> + Sub<Output = T> + Mul<Output = T>,
+{
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<T: Copy + Mul<Output = T>> MulAssign<T> for Complex<T> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: T) {
+        *self = Complex::new(self.re * rhs, self.im * rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_ops() {
+        let a = Complex32::new(2.0, 1.0);
+        let b = Complex32::new(0.0, 1.0);
+        assert_eq!(a * b, Complex32::new(-1.0, 2.0));
+        assert_eq!(a + b, Complex32::new(2.0, 2.0));
+        assert_eq!(a - b, Complex32::new(2.0, 0.0));
+        assert_eq!(a.conj(), Complex32::new(2.0, -1.0));
+        assert_eq!(Complex32::new(3.0, 4.0).norm(), 5.0);
+        let mut c = a;
+        c *= 2.0f32;
+        assert_eq!(c, Complex32::new(4.0, 2.0));
+        c += b;
+        assert_eq!(c, Complex32::new(4.0, 3.0));
+    }
+}

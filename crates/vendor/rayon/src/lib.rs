@@ -1,0 +1,116 @@
+//! Minimal offline stand-in for the `rayon` crate.
+//!
+//! Provides the `par_iter().map(..).collect()` pipeline the layerwise
+//! baseline uses, implemented with `std::thread::scope` fork-join over
+//! contiguous chunks. Ordering is preserved: results are concatenated
+//! in chunk order, so `collect::<Vec<_>>()` matches the sequential
+//! result exactly.
+
+/// The traits the workspace imports via `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Types that can produce a parallel iterator over `&Self` items.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type.
+    type Item: 'a;
+    /// A parallel iterator borrowing the collection.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// A borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+/// The mapped form of [`ParIter`], ready to collect.
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Evaluates the map over worker threads and collects the results
+    /// in input order.
+    pub fn collect<B, R>(self) -> B
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        B: FromIterator<R>,
+    {
+        let n = self.slice.len();
+        let threads = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return self.slice.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut per_chunk: Vec<Vec<R>> = Vec::with_capacity(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks(chunk)
+                .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            per_chunk = handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon-shim worker panicked"))
+                .collect();
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_tiny_and_empty_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = vec![7u8];
+        let out: Vec<u8> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

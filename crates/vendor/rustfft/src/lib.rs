@@ -1,0 +1,301 @@
+//! Minimal offline stand-in for the `rustfft` crate.
+//!
+//! The container is networkless, so upstream `rustfft` cannot be
+//! fetched. This shim implements the planner/plan API surface the
+//! workspace uses on top of a recursive mixed-radix Cooley–Tukey FFT:
+//!
+//! * arbitrary lengths are supported — composite lengths decompose into
+//!   their prime factors, prime factors fall back to a naive O(p²) DFT
+//!   (the workspace pads transforms to 5-smooth sizes, so the naive
+//!   path is cold);
+//! * [`Fft::process_with_scratch`] transforms every contiguous
+//!   length-`len` chunk of the buffer, matching upstream semantics that
+//!   `znn-fft` relies on for batched z-line transforms;
+//! * transforms are unnormalized in both directions, like upstream
+//!   (and FFTW/MKL): `inverse(forward(x)) == len * x`.
+//!
+//! Swap back to the real crate for SIMD kernels; the API is unchanged.
+
+pub use num_complex;
+use num_complex::Complex;
+use std::sync::Arc;
+
+/// Direction of a transform.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FftDirection {
+    /// Forward transform, `e^{-2πi·kt/n}` kernel.
+    Forward,
+    /// Inverse transform, `e^{+2πi·kt/n}` kernel (unnormalized).
+    Inverse,
+}
+
+/// A planned 1D FFT of a fixed length.
+#[allow(clippy::len_without_is_empty)] // matches upstream rustfft's trait
+pub trait Fft<T>: Send + Sync {
+    /// Transform every contiguous `len()`-sized chunk of `buffer` in
+    /// place, using `scratch` (at least [`Fft::get_inplace_scratch_len`]
+    /// elements).
+    fn process_with_scratch(&self, buffer: &mut [Complex<T>], scratch: &mut [Complex<T>]);
+
+    /// Scratch elements required by [`Fft::process_with_scratch`].
+    fn get_inplace_scratch_len(&self) -> usize;
+
+    /// The transform length.
+    fn len(&self) -> usize;
+
+    /// Convenience: transform with internally allocated scratch.
+    fn process(&self, buffer: &mut [Complex<T>]);
+}
+
+/// Plans FFTs. The workspace caches plans itself, so this planner does
+/// not memoize.
+pub struct FftPlanner<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl FftPlanner<f32> {
+    /// A new planner.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        FftPlanner {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Plan a forward FFT of `len`.
+    pub fn plan_fft_forward(&mut self, len: usize) -> Arc<dyn Fft<f32>> {
+        Arc::new(MixedRadix::new(len, FftDirection::Forward))
+    }
+
+    /// Plan an inverse FFT of `len`.
+    pub fn plan_fft_inverse(&mut self, len: usize) -> Arc<dyn Fft<f32>> {
+        Arc::new(MixedRadix::new(len, FftDirection::Inverse))
+    }
+
+    /// Plan a transform in the given direction.
+    pub fn plan_fft(&mut self, len: usize, direction: FftDirection) -> Arc<dyn Fft<f32>> {
+        Arc::new(MixedRadix::new(len, direction))
+    }
+}
+
+/// Recursive mixed-radix Cooley–Tukey FFT with a per-plan twiddle table.
+struct MixedRadix {
+    len: usize,
+    /// `twiddles[t] = e^{sign·2πi·t/len}`, `sign` per direction.
+    twiddles: Vec<Complex<f32>>,
+    /// Largest prime factor of `len` (size of the butterfly temp row).
+    max_factor: usize,
+}
+
+fn smallest_prime_factor(n: usize) -> usize {
+    if n.is_multiple_of(2) {
+        return 2;
+    }
+    let mut p = 3;
+    while p * p <= n {
+        if n.is_multiple_of(p) {
+            return p;
+        }
+        p += 2;
+    }
+    n
+}
+
+fn largest_prime_factor(mut n: usize) -> usize {
+    let mut largest = 1;
+    while n > 1 {
+        let p = smallest_prime_factor(n);
+        largest = largest.max(p);
+        while n.is_multiple_of(p) {
+            n /= p;
+        }
+    }
+    largest
+}
+
+impl MixedRadix {
+    fn new(len: usize, direction: FftDirection) -> Self {
+        let sign = match direction {
+            FftDirection::Forward => -1.0f64,
+            FftDirection::Inverse => 1.0f64,
+        };
+        let twiddles = (0..len.max(1))
+            .map(|t| {
+                let ang = sign * 2.0 * std::f64::consts::PI * t as f64 / len.max(1) as f64;
+                Complex::new(ang.cos() as f32, ang.sin() as f32)
+            })
+            .collect();
+        MixedRadix {
+            len,
+            twiddles,
+            max_factor: largest_prime_factor(len.max(1)),
+        }
+    }
+
+    /// `dst[s] = Σ_t src[t·stride] · w_n^{st}` for a sub-transform of
+    /// size `n = len / tstep`, reading `src` at the given stride.
+    ///
+    /// Decimation in time: split `n = p·m` on the smallest prime `p`,
+    /// recurse on the `p` interleaved sub-sequences, then combine with
+    /// `X[k + s·m] = Σ_q (Y_q[k]·w_n^{qk}) · w_p^{qs}`. The combine
+    /// reads and writes the same `p` positions `{k + j·m}` per `k`, so a
+    /// `p`-element temp row makes it safe in place.
+    fn compute(&self, src: &[Complex<f32>], dst: &mut [Complex<f32>], stride: usize, tstep: usize, tmp: &mut [Complex<f32>]) {
+        let n = self.len / tstep;
+        if n == 1 {
+            dst[0] = src[0];
+            return;
+        }
+        let p = smallest_prime_factor(n);
+        let m = n / p;
+        if m == 1 {
+            // prime length: naive DFT from the strided source (src and
+            // dst never alias — src is the scratch copy)
+            for (s, d) in dst.iter_mut().take(p).enumerate() {
+                let mut acc = Complex::new(0.0, 0.0);
+                for q in 0..p {
+                    let w = self.twiddles[(q * s * tstep) % self.len];
+                    acc += src[q * stride] * w;
+                }
+                *d = acc;
+            }
+            return;
+        }
+        for q in 0..p {
+            self.compute(
+                &src[q * stride..],
+                &mut dst[q * m..(q + 1) * m],
+                stride * p,
+                tstep * p,
+                tmp,
+            );
+        }
+        // combine: X[k + s·m] = Σ_q (Y_q[k]·w_n^{qk}) · w_p^{qs}
+        let wp_step = self.len / p;
+        for k in 0..m {
+            for q in 0..p {
+                let w = self.twiddles[(q * k * tstep) % self.len];
+                tmp[q] = dst[q * m + k] * w;
+            }
+            for s in 0..p {
+                let mut acc = tmp[0];
+                for (q, &t) in tmp.iter().enumerate().take(p).skip(1) {
+                    let w = self.twiddles[(q * s * wp_step) % self.len];
+                    acc += t * w;
+                }
+                dst[k + s * m] = acc;
+            }
+        }
+    }
+}
+
+impl Fft<f32> for MixedRadix {
+    fn process_with_scratch(&self, buffer: &mut [Complex<f32>], scratch: &mut [Complex<f32>]) {
+        let n = self.len;
+        if n <= 1 {
+            return;
+        }
+        assert!(
+            buffer.len().is_multiple_of(n),
+            "buffer length {} is not a multiple of the FFT length {n}",
+            buffer.len()
+        );
+        assert!(
+            scratch.len() >= self.get_inplace_scratch_len(),
+            "scratch too small: {} < {}",
+            scratch.len(),
+            self.get_inplace_scratch_len()
+        );
+        let (copy, tmp) = scratch.split_at_mut(n);
+        for chunk in buffer.chunks_mut(n) {
+            copy.copy_from_slice(chunk);
+            self.compute(copy, chunk, 1, 1, tmp);
+        }
+    }
+
+    fn get_inplace_scratch_len(&self) -> usize {
+        self.len + self.max_factor
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn process(&self, buffer: &mut [Complex<f32>]) {
+        let mut scratch = vec![Complex::new(0.0, 0.0); self.get_inplace_scratch_len()];
+        self.process_with_scratch(buffer, &mut scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex<f32>], sign: f64) -> Vec<Complex<f32>> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::new(0.0f64, 0.0f64);
+                for (t, &v) in x.iter().enumerate() {
+                    let ang = sign * 2.0 * std::f64::consts::PI * (k * t % n) as f64 / n as f64;
+                    acc += Complex::new(v.re as f64, v.im as f64)
+                        * Complex::new(ang.cos(), ang.sin());
+                }
+                Complex::new(acc.re as f32, acc.im as f32)
+            })
+            .collect()
+    }
+
+    fn test_signal(n: usize) -> Vec<Complex<f32>> {
+        (0..n)
+            .map(|i| {
+                let a = ((i * 37 + 11) % 101) as f32 / 101.0 - 0.5;
+                let b = ((i * 53 + 29) % 97) as f32 / 97.0 - 0.5;
+                Complex::new(a, b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_on_many_lengths() {
+        let mut planner = FftPlanner::new();
+        for n in [2usize, 3, 4, 5, 6, 7, 8, 9, 10, 12, 13, 15, 16, 17, 20, 24, 30, 32, 36, 60] {
+            let x = test_signal(n);
+            let mut buf = x.clone();
+            planner.plan_fft_forward(n).process(&mut buf);
+            let want = naive_dft(&x, -1.0);
+            for (a, b) in buf.iter().zip(&want) {
+                assert!((*a - *b).norm() < 1e-3 * n as f32, "len {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_unnormalized_inverse() {
+        let mut planner = FftPlanner::new();
+        for n in [4usize, 6, 9, 11, 16, 25] {
+            let x = test_signal(n);
+            let mut buf = x.clone();
+            planner.plan_fft_forward(n).process(&mut buf);
+            planner.plan_fft_inverse(n).process(&mut buf);
+            for (a, b) in buf.iter().zip(&x) {
+                let scaled = Complex::new(a.re / n as f32, a.im / n as f32);
+                assert!((scaled - *b).norm() < 1e-4, "len {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn processes_every_chunk() {
+        let mut planner = FftPlanner::new();
+        let plan = planner.plan_fft_forward(4);
+        let line = test_signal(4);
+        let mut batched: Vec<Complex<f32>> = [line.clone(), line.clone()].concat();
+        let mut scratch = vec![Complex::new(0.0, 0.0); plan.get_inplace_scratch_len()];
+        plan.process_with_scratch(&mut batched, &mut scratch);
+        let mut single = line;
+        plan.process(&mut single);
+        assert_eq!(&batched[..4], &single[..]);
+        assert_eq!(&batched[4..], &single[..]);
+    }
+}

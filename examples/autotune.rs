@@ -49,7 +49,7 @@ fn main() {
 
     // both forced paths agree with the tuned engine
     let x = ops::random(tuned.input_shape(), 5);
-    let y_tuned = tuned.forward(&[x.clone()]).remove(0);
+    let y_tuned = tuned.forward(std::slice::from_ref(&x)).remove(0);
     for policy in [ConvPolicy::ForceDirect, ConvPolicy::ForceFft] {
         let forced = Znn::new(
             graph.clone(),
@@ -60,7 +60,7 @@ fn main() {
             },
         )
         .unwrap();
-        let y = forced.forward(&[x.clone()]).remove(0);
+        let y = forced.forward(std::slice::from_ref(&x)).remove(0);
         let d = y.max_abs_diff(&y_tuned);
         println!("{policy:?} max deviation from tuned output: {d:.2e}");
         assert!(d < 1e-3);

@@ -108,7 +108,7 @@ fn main() {
     let mut first = None;
     let mut last = 0.0;
     for round in 0..30 {
-        last = znn.train_step(&[x.clone()], &[t.clone()]);
+        last = znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
         first.get_or_insert(last);
         if round % 10 == 0 {
             println!("round {round:>2}: loss {last:.4}");

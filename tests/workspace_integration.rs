@@ -23,8 +23,8 @@ fn three_engines_agree_on_the_paper_network() {
     let mut reference = ReferenceNet::new(g.clone(), out, 0x5EED).unwrap();
     let mut layerwise = LayerwiseNet::new(g, out, 0x5EED).unwrap();
     let x = ops::random(znn.input_shape(), 11);
-    let a = znn.forward(&[x.clone()]).remove(0);
-    let b = reference.forward(&[x.clone()]).remove(0);
+    let a = znn.forward(std::slice::from_ref(&x)).remove(0);
+    let b = reference.forward(std::slice::from_ref(&x)).remove(0);
     let c = layerwise.forward(&[x]).remove(0);
     assert!(a.max_abs_diff(&b) < 1e-4);
     assert!(b.max_abs_diff(&c) < 1e-4);
@@ -46,7 +46,7 @@ fn sliding_window_equivalence_through_the_engine() {
     let mut slider = ReferenceNet::new(pool_net, Vec3::flat(1, 1), 0x5EED).unwrap();
 
     let image = ops::random(filt.input_shape(), 21);
-    let fast = filt.forward(&[image.clone()]).remove(0);
+    let fast = filt.forward(std::slice::from_ref(&image)).remove(0);
     for at in dense_shape.iter() {
         let window = pad::crop(&image, at, fov);
         let one = slider.forward(&[window]).remove(0);
@@ -122,11 +122,11 @@ fn facade_end_to_end_2d_training() {
     let znn = Znn::new(g.clone(), out, cfg).unwrap();
     let mut teacher = ReferenceNet::new(g, out, 4242).unwrap();
     let x = ops::random(znn.input_shape(), 33);
-    let t = teacher.forward(&[x.clone()]).remove(0);
-    let first = znn.train_step(&[x.clone()], &[t.clone()]);
+    let t = teacher.forward(std::slice::from_ref(&x)).remove(0);
+    let first = znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
     let mut last = first;
     for _ in 0..40 {
-        last = znn.train_step(&[x.clone()], &[t.clone()]);
+        last = znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
     }
     assert!(last < 0.6 * first, "{first} -> {last}");
 }
@@ -161,10 +161,10 @@ fn minimal_graph_trains() {
     let znn = Znn::new(g, Vec3::cube(3), TrainConfig::test_default(1)).unwrap();
     let x = ops::random(znn.input_shape(), 1);
     let t = Tensor3::<f32>::zeros(Vec3::cube(3));
-    let l0 = znn.train_step(&[x.clone()], &[t.clone()]);
+    let l0 = znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
     let mut l = l0;
     for _ in 0..20 {
-        l = znn.train_step(&[x.clone()], &[t.clone()]);
+        l = znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
     }
     assert!(l < l0);
 }
