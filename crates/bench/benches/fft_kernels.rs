@@ -1,0 +1,80 @@
+//! 1D kernel shoot-out: iterative Stockham radix-4/2 vs the recursive
+//! mixed-radix path it replaced.
+//!
+//! The acceptance gate for the kernel rewrite: at power-of-two lengths
+//! ≥ 64 the iterative kernels must beat the recursive ones. Lengths are
+//! benched as *batched line transforms* (one `process_with_scratch`
+//! call over many contiguous lines, ~64k complex elements per call) —
+//! exactly how the 3D engine drives them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rustfft::{num_complex::Complex, Fft, FftDirection, FftPlanner};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn batch_for(n: usize) -> Vec<Complex<f32>> {
+    let lines = (64 * 1024 / n).max(1);
+    (0..lines * n)
+        .map(|i| {
+            let a = ((i * 37 + 11) % 101) as f32 / 101.0 - 0.5;
+            let b = ((i * 53 + 29) % 97) as f32 / 97.0 - 0.5;
+            Complex::new(a, b)
+        })
+        .collect()
+}
+
+fn bench_plan(c: &mut Criterion, group: &str, name: String, plan: Arc<dyn Fft<f32>>, batch: &[Complex<f32>]) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
+    let mut buf = batch.to_vec();
+    let mut scratch = vec![Complex::new(0.0, 0.0); plan.get_inplace_scratch_len()];
+    g.bench_function(name, |b| {
+        b.iter(|| {
+            buf.copy_from_slice(batch);
+            plan.process_with_scratch(black_box(&mut buf), &mut scratch);
+            black_box(&buf);
+        })
+    });
+    g.finish();
+}
+
+/// Power-of-two lengths 16–512: iterative Stockham vs recursive
+/// mixed-radix on identical batched inputs.
+fn bench_kernels(c: &mut Criterion) {
+    let mut planner = FftPlanner::new();
+    for n in [16usize, 32, 64, 128, 256, 512] {
+        let batch = batch_for(n);
+        bench_plan(
+            c,
+            "fft_kernels",
+            format!("iterative_n{n}"),
+            planner.plan_fft(n, FftDirection::Forward),
+            &batch,
+        );
+        bench_plan(
+            c,
+            "fft_kernels",
+            format!("recursive_n{n}"),
+            planner.plan_fft_recursive(n, FftDirection::Forward),
+            &batch,
+        );
+    }
+    // the fallback boundary: non-power-of-two 5-smooth lengths take the
+    // recursive path in both cases (sanity that the boundary is cheap)
+    for n in [48usize, 120, 360] {
+        let batch = batch_for(n);
+        bench_plan(
+            c,
+            "fft_kernels_fallback",
+            format!("mixed_radix_n{n}"),
+            planner.plan_fft(n, FftDirection::Forward),
+            &batch,
+        );
+    }
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

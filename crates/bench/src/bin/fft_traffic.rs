@@ -1,20 +1,42 @@
-//! Transform traffic — time and bytes moved per 3D transform, r2c
-//! half-spectrum pipeline vs the full c2c baseline.
+//! Transform traffic — time and bytes moved per 3D transform: the r2c
+//! half-spectrum pipeline vs the full c2c baseline, and the parallel
+//! line-transform scaling at 1 / half / all worker threads.
 //!
-//! The r2c path stores `⌊m_z/2⌋+1` of `m_z` z-bins and runs the
-//! z-stage at half length, so both the bytes written per forward
+//! The r2c path stores `⌊m/2⌋+1` of `m` packed-axis bins and runs the
+//! packed stage at half length, so both the bytes written per forward
 //! transform and the transform time should approach half the c2c
 //! figures as shapes grow. The "spectrum bytes" column is what every
 //! *memoized* spectrum costs for the lifetime of a training round —
-//! the paper's main RAM consumer (§IV).
+//! the paper's main RAM consumer (§IV). The threads table exercises the
+//! chunked per-line parallelism of `znn-fft` (the per-axis line loops
+//! are embarrassingly parallel across lines).
+//!
+//! Emits `BENCH_fft.json` with every number so the perf trajectory is
+//! tracked across PRs. `--smoke` runs one small size (CI keeps the
+//! bench bins from rotting without paying for the full sweep).
 
+use std::fmt::Write as _;
 use znn_bench::{fmt, header, row, time_per_round};
 use znn_fft::FftEngine;
 use znn_tensor::{ops, Spectrum, Vec3};
 
+struct ThreadPoint {
+    threads: usize,
+    fwd_s: f64,
+    inv_s: f64,
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke { &[16] } else { &[16, 24, 32, 48, 64] };
+    let host = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let mut thread_counts = vec![1usize, host.div_ceil(2), host];
+    thread_counts.dedup();
+
     println!("# transform traffic — r2c half-spectrum vs c2c full spectrum\n");
-    let engine = FftEngine::new();
+    let engine = FftEngine::with_threads(1);
     header(&[
         "shape",
         "r2c spectrum bytes",
@@ -24,7 +46,12 @@ fn main() {
         "c2c fwd s",
         "speedup",
     ]);
-    for n in [16usize, 24, 32, 48, 64] {
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"host_threads\": {host},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    json.push_str("  \"sizes\": [\n");
+    let mut records: Vec<String> = Vec::new();
+    for &n in sizes {
         let m = Vec3::cube(n);
         let img = ops::random(m, 1);
         let spec = engine.rfft3(&img);
@@ -46,11 +73,73 @@ fn main() {
             fmt(t_c2c),
             format!("{:.2}x", t_c2c / t_r2c),
         ]);
+        // threads sweep on the r2c pipeline (forward + inverse)
+        let mut points = Vec::new();
+        for &threads in &thread_counts {
+            let te = FftEngine::with_threads(threads);
+            let fwd_s = time_per_round(warm, reps, || {
+                std::hint::black_box(te.rfft3(&img));
+            });
+            // irfft3 consumes its spectrum, so the clone has to sit in
+            // the timed loop — measure it separately and subtract, or
+            // the inverse cost would include an allocation+memcpy the
+            // in-place c2r path specifically avoids
+            let base = te.rfft3(&img);
+            let t_clone = time_per_round(warm, reps, || {
+                std::hint::black_box(base.clone());
+            });
+            let inv_s = (time_per_round(warm, reps, || {
+                std::hint::black_box(te.irfft3(base.clone()));
+            }) - t_clone)
+                .max(f64::EPSILON);
+            points.push(ThreadPoint {
+                threads,
+                fwd_s,
+                inv_s,
+            });
+        }
+        let mut rec = String::new();
+        let _ = write!(
+            rec,
+            "    {{\"n\": {n}, \"r2c_bytes\": {r2c_bytes}, \"c2c_bytes\": {c2c_bytes}, \
+             \"r2c_fwd_s\": {t_r2c:.6e}, \"c2c_fwd_s\": {t_c2c:.6e}, \"threads\": ["
+        );
+        for (i, p) in points.iter().enumerate() {
+            let _ = write!(
+                rec,
+                "{}{{\"threads\": {}, \"fwd_s\": {:.6e}, \"fwd_tps\": {:.2}, \
+                 \"inv_s\": {:.6e}, \"inv_tps\": {:.2}}}",
+                if i > 0 { ", " } else { "" },
+                p.threads,
+                p.fwd_s,
+                1.0 / p.fwd_s,
+                p.inv_s,
+                1.0 / p.inv_s,
+            );
+        }
+        rec.push_str("]}");
+        records.push(rec);
+
+        println!("\n  {n}³ r2c transforms/sec by worker threads:");
+        header(&["threads", "fwd s", "fwd tps", "inv s", "inv tps"]);
+        for p in &points {
+            row(&[
+                p.threads.to_string(),
+                fmt(p.fwd_s),
+                format!("{:.2}", 1.0 / p.fwd_s),
+                fmt(p.inv_s),
+                format!("{:.2}", 1.0 / p.inv_s),
+            ]);
+        }
+        println!();
     }
-    println!();
+    json.push_str(&records.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
     println!("shape check: bytes ratio tends to 1/2 (exactly (⌊n/2⌋+1)/n");
-    println!("per z-line) and the r2c transform speedup approaches ~2x on");
-    println!("large shapes.");
+    println!("per packed line) and the r2c transform speedup approaches ~2x");
+    println!("on large shapes; with >1 host cores the threaded rows scale");
+    println!("transforms/sec with the worker count.");
     // the same half-spectrum bound, stated for one memoized volume
     let m = Vec3::cube(64);
     let half = Spectrum::half_shape(m);
@@ -61,4 +150,9 @@ fn main() {
         Spectrum::zeros(m).stored_bytes(),
         Spectrum::zeros(m).full_bytes(),
     );
+
+    match std::fs::write("BENCH_fft.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_fft.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_fft.json: {e}"),
+    }
 }

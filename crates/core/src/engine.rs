@@ -110,7 +110,11 @@ impl Znn {
             .map(|i| shape_map[&NodeId(i)])
             .collect();
 
-        let fft = Arc::new(FftEngine::new());
+        // one worker per transform: the task scheduler already spreads
+        // convolution tasks across the cores, so intra-transform line
+        // parallelism here would only oversubscribe (ROADMAP notes the
+        // follow-on of budgeting both from the training config)
+        let fft = Arc::new(FftEngine::with_threads(1));
         // decide the convolution method per distinct layer geometry (§IV)
         let mut method_cache: HashMap<(Vec3, Vec3, Vec3), ConvMethod> = HashMap::new();
         let mut edge_method = vec![ConvMethod::Direct; graph.edge_count()];

@@ -18,8 +18,15 @@ enum Dir {
 thread_local! {
     /// Per-thread scratch reused across every transform this thread
     /// runs: FFT in-place scratch, a line gather buffer, and the packed
-    /// z-line buffer of the r2c/c2r stages. Transforms are hot (one per
+    /// line buffer of the r2c/c2r stages. Transforms are hot (one per
     /// image per pass) — allocating these per call was measurable.
+    ///
+    /// This is also what makes the parallel line transforms thread-safe
+    /// without locking: each scoped worker thread owns its TLS slot, so
+    /// workers never share scratch. Workers spawned by [`rayon::scope`]
+    /// are fresh OS threads whose slots start empty and die with them;
+    /// the long-lived caller thread (and `znn-sched` executor workers,
+    /// which run many transforms) keep their slots warm.
     static SCRATCH: RefCell<ScratchBuffers> = RefCell::new(ScratchBuffers::default());
 }
 
@@ -27,7 +34,7 @@ thread_local! {
 struct ScratchBuffers {
     /// `Fft::process_with_scratch` scratch.
     plan: Vec<Complex32>,
-    /// Gathered strided line (x/y axes) or packed z-line.
+    /// Gathered strided line (x/y axes) or packed r2c/c2r line.
     line: Vec<Complex32>,
 }
 
@@ -39,9 +46,37 @@ fn borrow_buf(buf: &mut Vec<Complex32>, n: usize) -> &mut [Complex32] {
     &mut buf[..n]
 }
 
+/// A raw tensor base pointer that may cross thread boundaries.
+///
+/// Used by the parallel x/y line transforms: the lines along a strided
+/// axis interleave in memory, so the buffer cannot be split into
+/// contiguous `&mut` chunks per worker. Soundness rests on the line
+/// decomposition instead: line `i` touches exactly the elements
+/// `starts[i] + k·stride`, sets that are pairwise disjoint across lines,
+/// and each worker is handed a disjoint range of line indices.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut Complex32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// The wrapped pointer. A method (rather than field access) so
+    /// closures capture the `Send` wrapper, not the bare pointer —
+    /// edition-2021 closures capture individual fields otherwise.
+    fn get(self) -> *mut Complex32 {
+        self.0
+    }
+}
+
+/// Minimum complex elements in a batched line transform before it is
+/// split across worker threads. Below this, the fork-join overhead of
+/// [`rayon::scope`] (one short-lived OS thread per extra worker)
+/// outweighs the work; a 24³ stage stays serial, a 32³ stage splits.
+const PAR_MIN_ELEMS: usize = 16 * 1024;
+
 /// Plan cache: one planned 1D transform per (line length, direction).
 type PlanMap = HashMap<(usize, Dir), Arc<dyn Fft<f32>>>;
-/// r2c twiddle cache: one table per (z extent, direction).
+/// r2c twiddle cache: one table per (packed-axis extent, direction).
 type TwiddleMap = HashMap<(usize, Dir), Arc<Vec<Complex32>>>;
 
 /// A 3D FFT for real-valued images, built from cached 1D `rustfft`
@@ -57,31 +92,78 @@ type TwiddleMap = HashMap<(usize, Dir), Arc<Vec<Complex32>>>;
 /// * **r2c / c2r** ([`FftEngine::rfft3`], [`FftEngine::irfft3`] and the
 ///   staged [`FftEngine::forward_padded`] / [`FftEngine::inverse_real`])
 ///   — the production path. Real input makes the spectrum Hermitian, so
-///   only `⌊m_z/2⌋+1` z-bins are stored ([`Spectrum`]); the z-stage
-///   packs each real line into a half-length complex line (even/odd
-///   trick), so z transforms also cost half the FLOPs.
+///   only `⌊m/2⌋+1` bins along the packed axis are stored
+///   ([`Spectrum`]); the packed stage turns each even-length real line
+///   into a half-length complex line (even/odd trick), so that stage
+///   also costs half the FLOPs. The packed axis is the last non-unit
+///   axis — `z` for volumes, `y` for flat (`m_z == 1`) images — whose
+///   lines are always contiguous.
 /// * **c2c** ([`FftEngine::fft3`], [`FftEngine::ifft3`]) — full complex
 ///   transforms, kept for parity tests and as the r2c baseline.
 ///
-/// Transforms are decomposed per axis. Lines along the fastest (`z`)
-/// axis are processed in place on the contiguous buffer; `x`/`y` lines
-/// are gathered into per-thread scratch, transformed, and scattered
-/// back.
+/// # Threading model
+///
+/// Transforms are decomposed per axis into batches of independent 1D
+/// lines, and every batched line loop — the in-place contiguous `z`
+/// pass, the `x`/`y` gather–transform–scatter passes, and the r2c pack /
+/// c2r unpack passes — splits its lines into contiguous index ranges
+/// across up to [`FftEngine::threads`] scoped workers
+/// ([`rayon::scope`]). The split is at line granularity, each worker
+/// owns its scratch (thread-local), and each line's arithmetic is
+/// identical regardless of the worker count, so multi-threaded
+/// transforms are **bit-for-bit deterministic** and equal to the
+/// single-threaded result. Batches smaller than an internal threshold
+/// (~16k complex elements) stay serial — `FftEngine::with_threads(1)`
+/// forces everything serial.
+///
+/// [`FftEngine::new`] sizes the pool to `available_parallelism`; pass an
+/// explicit count with [`FftEngine::with_threads`] when composing with
+/// an outer task-parallel scheduler that already saturates the cores.
 pub struct FftEngine {
     planner: Mutex<FftPlanner<f32>>,
     plans: Mutex<PlanMap>,
     /// Memoized unpack/repack twiddles `e^{∓2πik/n}`, `k ∈ 0..⌊n/2⌋+1`,
-    /// for the r2c/c2r z-stages, keyed by `(n, direction)`.
+    /// for the r2c/c2r packed stages, keyed by `(n, direction)`.
     rtwiddles: Mutex<TwiddleMap>,
+    /// Worker-thread cap for batched line transforms (≥ 1).
+    threads: usize,
 }
 
 impl FftEngine {
-    /// A new engine with an empty plan cache.
+    /// A new engine with an empty plan cache, parallelizing line
+    /// transforms over up to `available_parallelism` workers.
     pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1);
+        Self::with_threads(threads)
+    }
+
+    /// A new engine that splits batched line transforms over at most
+    /// `threads` workers. `with_threads(1)` disables intra-transform
+    /// parallelism entirely.
+    pub fn with_threads(threads: usize) -> Self {
         FftEngine {
             planner: Mutex::new(FftPlanner::new()),
             plans: Mutex::new(HashMap::new()),
             rtwiddles: Mutex::new(HashMap::new()),
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker-thread cap for batched line transforms.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Workers to split a batch of `lines` lines of `line_len` complex
+    /// elements across: 1 for small batches (fork overhead dominates),
+    /// never more than the line count.
+    fn workers_for(&self, lines: usize, line_len: usize) -> usize {
+        if self.threads <= 1 || lines * line_len < PAR_MIN_ELEMS {
+            1
+        } else {
+            self.threads.min(lines)
         }
     }
 
@@ -135,20 +217,92 @@ impl FftEngine {
             return; // a length-1 DFT is the identity
         }
         let plan = self.plan(len, dir);
-        SCRATCH.with(|s| {
-            let s = &mut *s.borrow_mut();
-            let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
-            if axis == Axis::Z {
-                // contiguous lines: process the whole buffer in chunks of len
-                plan.process_with_scratch(t.as_mut_slice(), scratch);
-                return;
+        let count = t.len() / len;
+        let workers = self.workers_for(count, len);
+        if axis == Axis::Z {
+            // contiguous lines: the buffer splits into per-worker chunks
+            // at line boundaries, each processed in place
+            if workers <= 1 {
+                SCRATCH.with(|s| {
+                    let s = &mut *s.borrow_mut();
+                    let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
+                    plan.process_with_scratch(t.as_mut_slice(), scratch);
+                });
+            } else {
+                let per = count.div_ceil(workers);
+                let plan = &plan;
+                rayon::scope(|sc| {
+                    for chunk in t.as_mut_slice().chunks_mut(per * len) {
+                        sc.spawn(move |_| {
+                            SCRATCH.with(|s| {
+                                let s = &mut *s.borrow_mut();
+                                let scratch =
+                                    borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
+                                plan.process_with_scratch(chunk, scratch);
+                            });
+                        });
+                    }
+                });
             }
-            let spec = LineSpec::new(shape, axis);
-            let buf = borrow_buf(&mut s.line, spec.len);
-            for i in 0..spec.count {
-                spec.read_line(t, i, buf);
-                plan.process_with_scratch(buf, scratch);
-                spec.write_line(t, i, buf);
+            return;
+        }
+        let spec = LineSpec::new(shape, axis);
+        if workers <= 1 {
+            SCRATCH.with(|s| {
+                let s = &mut *s.borrow_mut();
+                let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
+                let buf = borrow_buf(&mut s.line, spec.len);
+                for i in 0..spec.count {
+                    spec.read_line(t, i, buf);
+                    plan.process_with_scratch(buf, scratch);
+                    spec.write_line(t, i, buf);
+                }
+            });
+            return;
+        }
+        // strided lines interleave, so workers share the buffer through a
+        // raw base pointer and own disjoint ranges of line indices
+        let base = SendPtr(t.as_mut_slice().as_mut_ptr());
+        let per = count.div_ceil(workers);
+        let plan = &plan;
+        let spec = &spec;
+        rayon::scope(|sc| {
+            let mut lo = 0;
+            while lo < count {
+                let hi = (lo + per).min(count);
+                sc.spawn(move |_| {
+                    let ptr = base.get();
+                    SCRATCH.with(|s| {
+                        let s = &mut *s.borrow_mut();
+                        let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
+                        let buf = borrow_buf(&mut s.line, spec.len);
+                        for i in lo..hi {
+                            let start = spec.starts()[i];
+                            // SAFETY: line i touches exactly the elements
+                            // start + k·stride, k < len — pairwise
+                            // disjoint across lines, and this worker's
+                            // line range [lo, hi) is disjoint from every
+                            // other worker's. All offsets are in bounds
+                            // by LineSpec's construction.
+                            unsafe {
+                                let mut p = start;
+                                for b in buf.iter_mut() {
+                                    *b = *ptr.add(p);
+                                    p += spec.stride;
+                                }
+                            }
+                            plan.process_with_scratch(buf, scratch);
+                            unsafe {
+                                let mut p = start;
+                                for b in buf.iter() {
+                                    *ptr.add(p) = *b;
+                                    p += spec.stride;
+                                }
+                            }
+                        }
+                    });
+                });
+                lo = hi;
             }
         });
     }
@@ -169,156 +323,212 @@ impl FftEngine {
     }
 
     /// Forward real-to-complex 3D FFT of `img` (unnormalized): the
-    /// half-spectrum holding z-bins `0..=⌊m_z/2⌋` of the full DFT.
+    /// half-spectrum holding bins `0..=⌊m/2⌋` of the full DFT along the
+    /// packed axis ([`Spectrum::packed_axis`] — `z` for volumes, `y` for
+    /// flat `m_z == 1` images).
     ///
-    /// The z-stage exploits Hermitian symmetry: an even-length real
-    /// line of `m_z` samples is packed as `⌊m_z/2⌋` complex samples
+    /// The packed stage exploits Hermitian symmetry: an even-length real
+    /// line of `n` samples is packed as `n/2` complex samples
     /// (`z[t] = x[2t] + i·x[2t+1]`), transformed at half length, and
-    /// unpacked into `⌊m_z/2⌋+1` bins — half the z FLOPs and half the
-    /// spectrum memory of the c2c path. Odd z extents fall back to a
-    /// full-length transform per line, truncated to the stored bins
-    /// (`good_shape` keeps z even, so this path is cold). The remaining
-    /// `y`/`x` stages are c2c transforms over the (already halved)
-    /// packed tensor.
+    /// unpacked into `n/2+1` bins — half the FLOPs and half the spectrum
+    /// memory of the c2c path. Odd extents fall back to a full-length
+    /// transform per line, truncated to the stored bins (`good_shape`
+    /// keeps the packed axis even, so this path is cold). The remaining
+    /// axes are c2c transforms over the (already halved) packed tensor.
+    ///
+    /// Lines are split across the engine's workers; see the
+    /// [threading model](FftEngine#threading-model).
     pub fn rfft3(&self, img: &Image) -> Spectrum {
         let m = img.shape();
-        let mz = m[2];
-        let h = mz / 2 + 1;
+        let pa = Spectrum::packed_axis(m);
+        let n = m[pa];
+        let h = n / 2 + 1;
         let mut half = CImage::zeros(Spectrum::half_shape(m));
-        let lines = m[0] * m[1];
-        if mz == 1 {
+        let lines = m.len() / n;
+        if n == 1 {
+            // the all-unit shape: a 1-point DFT is the identity
             for (d, s) in half.as_mut_slice().iter_mut().zip(img.as_slice()) {
                 *d = Complex32::new(*s, 0.0);
             }
-        } else if mz.is_multiple_of(2) {
-            let hz = mz / 2;
-            let plan = (hz > 1).then(|| self.plan(hz, Dir::Fwd));
-            let tw = self.rtwiddle(mz, Dir::Fwd);
-            SCRATCH.with(|s| {
-                let s = &mut *s.borrow_mut();
-                let scratch = borrow_buf(
-                    &mut s.plan,
-                    plan.as_ref().map_or(0, |p| p.get_inplace_scratch_len()),
-                );
-                let buf = borrow_buf(&mut s.line, hz);
-                for i in 0..lines {
-                    let src = &img.as_slice()[i * mz..(i + 1) * mz];
-                    for (t, b) in buf.iter_mut().enumerate() {
-                        *b = Complex32::new(src[2 * t], src[2 * t + 1]);
+        } else if n.is_multiple_of(2) {
+            let hn = n / 2;
+            let plan = (hn > 1).then(|| self.plan(hn, Dir::Fwd));
+            let tw = self.rtwiddle(n, Dir::Fwd);
+            let pack = |src_all: &[f32], dst_all: &mut [Complex32]| {
+                SCRATCH.with(|s| {
+                    let s = &mut *s.borrow_mut();
+                    let scratch = borrow_buf(
+                        &mut s.plan,
+                        plan.as_ref().map_or(0, |p| p.get_inplace_scratch_len()),
+                    );
+                    let buf = borrow_buf(&mut s.line, hn);
+                    for (src, dst) in src_all.chunks_exact(n).zip(dst_all.chunks_exact_mut(h)) {
+                        for (t, b) in buf.iter_mut().enumerate() {
+                            *b = Complex32::new(src[2 * t], src[2 * t + 1]);
+                        }
+                        if let Some(p) = &plan {
+                            p.process_with_scratch(buf, scratch);
+                        }
+                        for (k, d) in dst.iter_mut().enumerate() {
+                            let zk = buf[k % hn];
+                            let zc = buf[(hn - k) % hn].conj();
+                            let ze = (zk + zc) * 0.5;
+                            let zo = (zk - zc) * Complex32::new(0.0, -0.5);
+                            *d = ze + tw[k] * zo;
+                        }
                     }
-                    if let Some(p) = &plan {
-                        p.process_with_scratch(buf, scratch);
-                    }
-                    let dst = &mut half.as_mut_slice()[i * h..(i + 1) * h];
-                    for (k, d) in dst.iter_mut().enumerate() {
-                        let zk = buf[k % hz];
-                        let zc = buf[(hz - k) % hz].conj();
-                        let ze = (zk + zc) * 0.5;
-                        let zo = (zk - zc) * Complex32::new(0.0, -0.5);
-                        *d = ze + tw[k] * zo;
-                    }
-                }
-            });
+                });
+            };
+            par_line_chunks(
+                self.workers_for(lines, n),
+                lines,
+                img.as_slice(),
+                n,
+                half.as_mut_slice(),
+                h,
+                &pack,
+            );
         } else {
-            let plan = self.plan(mz, Dir::Fwd);
-            SCRATCH.with(|s| {
-                let s = &mut *s.borrow_mut();
-                let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
-                let buf = borrow_buf(&mut s.line, mz);
-                for i in 0..lines {
-                    let src = &img.as_slice()[i * mz..(i + 1) * mz];
-                    for (b, v) in buf.iter_mut().zip(src) {
-                        *b = Complex32::new(*v, 0.0);
+            let plan = self.plan(n, Dir::Fwd);
+            let pack = |src_all: &[f32], dst_all: &mut [Complex32]| {
+                SCRATCH.with(|s| {
+                    let s = &mut *s.borrow_mut();
+                    let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
+                    let buf = borrow_buf(&mut s.line, n);
+                    for (src, dst) in src_all.chunks_exact(n).zip(dst_all.chunks_exact_mut(h)) {
+                        for (b, v) in buf.iter_mut().zip(src) {
+                            *b = Complex32::new(*v, 0.0);
+                        }
+                        plan.process_with_scratch(buf, scratch);
+                        dst.copy_from_slice(&buf[..h]);
                     }
-                    plan.process_with_scratch(buf, scratch);
-                    half.as_mut_slice()[i * h..(i + 1) * h].copy_from_slice(&buf[..h]);
-                }
-            });
+                });
+            };
+            par_line_chunks(
+                self.workers_for(lines, n),
+                lines,
+                img.as_slice(),
+                n,
+                half.as_mut_slice(),
+                h,
+                &pack,
+            );
         }
-        self.transform_axis(&mut half, Axis::Y, Dir::Fwd);
-        self.transform_axis(&mut half, Axis::X, Dir::Fwd);
+        // the remaining (un-packed) axes, in Z..X order so the inverse
+        // can mirror the stage order exactly
+        for axis in Axis::ALL.into_iter().rev() {
+            if axis as usize != pa {
+                self.transform_axis(&mut half, axis, Dir::Fwd);
+            }
+        }
         Spectrum::new(half, m)
     }
 
     /// Inverse of [`FftEngine::rfft3`], normalized so
-    /// `irfft3(rfft3(x)) == x`. Consumes the spectrum (the inverse is
-    /// computed in place on its buffer).
+    /// `irfft3(rfft3(x)) == x`. Consumes the spectrum: the inverse is
+    /// computed in place on its buffer, and the real output *reuses that
+    /// buffer's storage* — the interleaved unpack writes each real line
+    /// into the (strictly larger) slot its complex bins occupied, then
+    /// one compaction pass packs the lines tight. No per-call output
+    /// allocation.
     pub fn irfft3(&self, spec: Spectrum) -> Image {
         let m = spec.full_shape();
-        let mz = m[2];
-        let h = mz / 2 + 1;
+        let pa = Spectrum::packed_axis(m);
+        let n = m[pa];
+        let h = n / 2 + 1;
         let mut half = spec.into_half();
-        self.transform_axis(&mut half, Axis::X, Dir::Inv);
-        self.transform_axis(&mut half, Axis::Y, Dir::Inv);
-        let mut out = Image::zeros(m);
-        let lines = m[0] * m[1];
-        // the x/y inverse stages above are unnormalized (m_x·m_y), the
-        // z-stage below contributes hz (even), mz (odd) or 1 (unit)
-        let zfac = if mz == 1 {
-            1
-        } else if mz.is_multiple_of(2) {
-            mz / 2
-        } else {
-            mz
-        };
-        let scale = 1.0 / (m[0] * m[1] * zfac) as f32;
-        if mz == 1 {
-            for (d, s) in out.as_mut_slice().iter_mut().zip(half.as_slice()) {
-                *d = s.re * scale;
+        for axis in Axis::ALL {
+            if axis as usize != pa {
+                self.transform_axis(&mut half, axis, Dir::Inv);
             }
-        } else if mz.is_multiple_of(2) {
-            let hz = mz / 2;
-            let plan = (hz > 1).then(|| self.plan(hz, Dir::Inv));
-            let tw = self.rtwiddle(mz, Dir::Inv);
-            SCRATCH.with(|s| {
-                let s = &mut *s.borrow_mut();
-                let scratch = borrow_buf(
-                    &mut s.plan,
-                    plan.as_ref().map_or(0, |p| p.get_inplace_scratch_len()),
-                );
-                let buf = borrow_buf(&mut s.line, hz);
-                for i in 0..lines {
-                    let src = &half.as_slice()[i * h..(i + 1) * h];
-                    for (k, b) in buf.iter_mut().enumerate() {
-                        let xk = src[k];
-                        let xc = src[hz - k].conj();
-                        let ze = (xk + xc) * 0.5;
-                        let zo = (xk - xc) * 0.5 * tw[k];
-                        // z[k] = ze + i·zo repacks even/odd interleaving
-                        *b = Complex32::new(ze.re - zo.im, ze.im + zo.re);
-                    }
-                    if let Some(p) = &plan {
-                        p.process_with_scratch(buf, scratch);
-                    }
-                    let dst = &mut out.as_mut_slice()[i * mz..(i + 1) * mz];
-                    for (t, b) in buf.iter().enumerate() {
-                        dst[2 * t] = b.re * scale;
-                        dst[2 * t + 1] = b.im * scale;
-                    }
-                }
-            });
-        } else {
-            let plan = self.plan(mz, Dir::Inv);
-            SCRATCH.with(|s| {
-                let s = &mut *s.borrow_mut();
-                let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
-                let buf = borrow_buf(&mut s.line, mz);
-                for i in 0..lines {
-                    let src = &half.as_slice()[i * h..(i + 1) * h];
-                    buf[..h].copy_from_slice(src);
-                    // Hermitian reconstruction of the dropped bins
-                    for k in 1..h {
-                        buf[mz - k] = src[k].conj();
-                    }
-                    plan.process_with_scratch(buf, scratch);
-                    let dst = &mut out.as_mut_slice()[i * mz..(i + 1) * mz];
-                    for (d, b) in dst.iter_mut().zip(buf.iter()) {
-                        *d = b.re * scale;
-                    }
-                }
-            });
         }
-        out
+        let lines = m.len() / n;
+        // the non-packed inverse stages above are unnormalized, each
+        // contributing its extent; the packed stage contributes n/2
+        // (even), n (odd) or 1 (unit)
+        let zfac = if n == 1 {
+            1
+        } else if n.is_multiple_of(2) {
+            n / 2
+        } else {
+            n
+        };
+        let scale = 1.0 / ((m.len() / n) * zfac) as f32;
+        // In-place c2r: view the half buffer as interleaved f32 storage.
+        // Line i's h complex bins occupy the 2h-float "slot" at 2·i·h;
+        // its n real outputs (n ≤ 2h-1) are written back into the same
+        // slot's prefix after the bins are consumed into scratch, so
+        // parallel workers stay inside their own slots and nothing
+        // allocates.
+        let mut data = complex_vec_into_reals(half.into_vec());
+        if n == 1 {
+            data[0] *= scale; // single voxel (slot [re, im], output [re])
+        } else if n.is_multiple_of(2) {
+            let hn = n / 2;
+            let plan = (hn > 1).then(|| self.plan(hn, Dir::Inv));
+            let tw = self.rtwiddle(n, Dir::Inv);
+            let unpack = |slots: &mut [f32]| {
+                SCRATCH.with(|s| {
+                    let s = &mut *s.borrow_mut();
+                    let scratch = borrow_buf(
+                        &mut s.plan,
+                        plan.as_ref().map_or(0, |p| p.get_inplace_scratch_len()),
+                    );
+                    let buf = borrow_buf(&mut s.line, hn);
+                    for slot in slots.chunks_exact_mut(2 * h) {
+                        for (k, b) in buf.iter_mut().enumerate() {
+                            let xk = Complex32::new(slot[2 * k], slot[2 * k + 1]);
+                            let xc =
+                                Complex32::new(slot[2 * (hn - k)], -slot[2 * (hn - k) + 1]);
+                            let ze = (xk + xc) * 0.5;
+                            let zo = (xk - xc) * 0.5 * tw[k];
+                            // z[k] = ze + i·zo repacks even/odd interleaving
+                            *b = Complex32::new(ze.re - zo.im, ze.im + zo.re);
+                        }
+                        if let Some(p) = &plan {
+                            p.process_with_scratch(buf, scratch);
+                        }
+                        for (t, b) in buf.iter().enumerate() {
+                            slot[2 * t] = b.re * scale;
+                            slot[2 * t + 1] = b.im * scale;
+                        }
+                    }
+                });
+            };
+            par_slot_chunks(self.workers_for(lines, n), lines, &mut data, 2 * h, &unpack);
+        } else {
+            let plan = self.plan(n, Dir::Inv);
+            let unpack = |slots: &mut [f32]| {
+                SCRATCH.with(|s| {
+                    let s = &mut *s.borrow_mut();
+                    let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
+                    let buf = borrow_buf(&mut s.line, n);
+                    for slot in slots.chunks_exact_mut(2 * h) {
+                        for (k, b) in buf[..h].iter_mut().enumerate() {
+                            *b = Complex32::new(slot[2 * k], slot[2 * k + 1]);
+                        }
+                        // Hermitian reconstruction of the dropped bins
+                        for k in 1..h {
+                            buf[n - k] =
+                                Complex32::new(slot[2 * k], -slot[2 * k + 1]);
+                        }
+                        plan.process_with_scratch(buf, scratch);
+                        for (d, b) in slot[..n].iter_mut().zip(buf.iter()) {
+                            *d = b.re * scale;
+                        }
+                    }
+                });
+            };
+            par_slot_chunks(self.workers_for(lines, n), lines, &mut data, 2 * h, &unpack);
+        }
+        // compact the per-slot real lines into a dense image: line i
+        // moves left from 2·i·h to i·n, so a forward pass never
+        // overwrites an unmoved line
+        for i in 1..lines {
+            data.copy_within(2 * i * h..2 * i * h + n, i * n);
+        }
+        data.truncate(m.len());
+        Image::from_vec(m, data)
     }
 
     /// The forward transform of the staged convolution API: zero-pads a
@@ -383,6 +593,72 @@ impl FftEngine {
     }
 }
 
+/// Runs `work` over a batch of `lines` lines that are contiguous in both
+/// buffers (`src_len` reals in, `dst_len` complexes out per line):
+/// serially for one worker, else split into per-worker chunks of whole
+/// lines. The chunk boundaries depend only on `(workers, lines)`, and
+/// each line's arithmetic is independent of its chunk, so the result is
+/// identical for every worker count.
+#[allow(clippy::too_many_arguments)]
+fn par_line_chunks(
+    workers: usize,
+    lines: usize,
+    src: &[f32],
+    src_len: usize,
+    dst: &mut [Complex32],
+    dst_len: usize,
+    work: &(impl Fn(&[f32], &mut [Complex32]) + Sync),
+) {
+    if workers <= 1 {
+        work(src, dst);
+        return;
+    }
+    let per = lines.div_ceil(workers);
+    rayon::scope(|sc| {
+        for (s_chunk, d_chunk) in src
+            .chunks(per * src_len)
+            .zip(dst.chunks_mut(per * dst_len))
+        {
+            sc.spawn(move |_| work(s_chunk, d_chunk));
+        }
+    });
+}
+
+/// In-place variant of [`par_line_chunks`] for the c2r unpack: the
+/// buffer is one f32 slab of `lines` slots of `slot_len` floats each,
+/// split across workers at slot boundaries.
+fn par_slot_chunks(
+    workers: usize,
+    lines: usize,
+    data: &mut [f32],
+    slot_len: usize,
+    work: &(impl Fn(&mut [f32]) + Sync),
+) {
+    if workers <= 1 {
+        work(data);
+        return;
+    }
+    let per = lines.div_ceil(workers);
+    rayon::scope(|sc| {
+        for chunk in data.chunks_mut(per * slot_len) {
+            sc.spawn(move |_| work(chunk));
+        }
+    });
+}
+
+/// Reinterprets a `Vec<Complex32>` as the `Vec<f32>` over the same
+/// allocation (`re`, `im` interleaved), without copying.
+fn complex_vec_into_reals(v: Vec<Complex32>) -> Vec<f32> {
+    let mut v = std::mem::ManuallyDrop::new(v);
+    let (ptr, len, cap) = (v.as_mut_ptr(), v.len(), v.capacity());
+    // SAFETY: Complex<f32> is #[repr(C)] { re: f32, im: f32 } — size 8,
+    // align 4 — so Layout::array::<f32>(2·cap) equals
+    // Layout::array::<Complex32>(cap): the allocation contract for the
+    // eventual drop/realloc is preserved, every byte of the length is
+    // initialized, and every bit pattern is a valid f32.
+    unsafe { Vec::from_raw_parts(ptr.cast::<f32>(), len * 2, cap * 2) }
+}
+
 impl Default for FftEngine {
     fn default() -> Self {
         Self::new()
@@ -431,7 +707,8 @@ mod tests {
             .fold(0.0, f32::max)
     }
 
-    /// The half-spectrum a c2c transform implies: z-bins `0..=⌊m_z/2⌋`.
+    /// The half-spectrum a c2c transform implies: packed-axis bins
+    /// `0..=⌊m/2⌋`.
     fn truncate_to_half(full: &CImage) -> CImage {
         let m = full.shape();
         let hs = Spectrum::half_shape(m);
@@ -504,19 +781,23 @@ mod tests {
     }
 
     #[test]
-    fn rfft3_matches_c2c_on_even_odd_and_unit_z() {
+    fn rfft3_matches_c2c_on_even_odd_and_unit_axes() {
         // parity with both the c2c engine and (through it) the naive
-        // DFT, on even z, odd z, unit z, and flat 2D shapes
+        // DFT, on even/odd packed extents, volumes, flat 2D (packed
+        // along y) and 1D rows (packed along x)
         let engine = FftEngine::new();
         for shape in [
             Vec3::cube(8),                // even z
             Vec3::new(4, 6, 10),          // even z, mixed extents
             Vec3::new(4, 3, 5),           // odd z
             Vec3::new(3, 4, 7),           // odd prime z
-            Vec3::new(5, 5, 1),           // unit z
+            Vec3::new(5, 5, 1),           // flat, odd y (fallback)
+            Vec3::new(5, 6, 1),           // flat, even y (packed)
             Vec3::new(1, 8, 6),           // unit x
             Vec3::new(1, 1, 2),           // minimal even line
-            Vec3::flat(6, 9),             // flat 2D
+            Vec3::flat(6, 9),             // flat 2D, odd y
+            Vec3::new(6, 1, 1),           // 1D row, packed along x
+            Vec3::one(),                  // single voxel
         ] {
             let img = ops::random(shape, 21);
             let got = engine.rfft3(&img);
@@ -541,9 +822,12 @@ mod tests {
             Vec3::new(4, 6, 10),
             Vec3::new(4, 3, 5),
             Vec3::new(5, 5, 1),
+            Vec3::new(5, 6, 1),
             Vec3::new(1, 16, 16),
             Vec3::new(2, 2, 2),
             Vec3::cube(5),
+            Vec3::new(6, 1, 1),
+            Vec3::one(),
         ] {
             let img = ops::random(shape, 31);
             let back = engine.irfft3(engine.rfft3(&img));
@@ -598,6 +882,53 @@ mod tests {
         let a = engine.inverse_real(spec, at, shape);
         let b = engine.inverse_real_c2c(c2c, at, shape);
         assert!(a.max_abs_diff(&b) < 1e-5);
+    }
+
+    #[test]
+    fn multi_threaded_transforms_match_single_threaded_bitwise() {
+        // the tentpole determinism contract: line chunking across
+        // workers must not change a single bit of any transform — 32³ is
+        // above the parallel threshold, so the 4-thread engine really
+        // splits (scoped workers run even on a 1-core host)
+        let serial = FftEngine::with_threads(1);
+        let parallel = FftEngine::with_threads(4);
+        assert_eq!(serial.threads(), 1);
+        assert_eq!(parallel.threads(), 4);
+        for shape in [Vec3::cube(32), Vec3::new(16, 32, 64), Vec3::new(128, 130, 1)] {
+            let img = ops::random(shape, 91);
+            let s_spec = serial.rfft3(&img);
+            let p_spec = parallel.rfft3(&img);
+            assert!(
+                max_cdiff(s_spec.half(), p_spec.half()) == 0.0,
+                "forward drift on {shape}"
+            );
+            let s_back = serial.irfft3(s_spec);
+            let p_back = parallel.irfft3(p_spec);
+            assert!(
+                s_back.max_abs_diff(&p_back) == 0.0,
+                "inverse drift on {shape}"
+            );
+            // and the c2c pipeline
+            let mut s_c = ops::to_complex(&img);
+            let mut p_c = ops::to_complex(&img);
+            serial.fft3(&mut s_c);
+            parallel.fft3(&mut p_c);
+            assert!(max_cdiff(&s_c, &p_c) == 0.0, "c2c drift on {shape}");
+        }
+    }
+
+    #[test]
+    fn flat_images_pack_along_y() {
+        // the mz == 1 fast path: an even y extent gets a true half
+        // spectrum (y bins 0..=my/2) and round-trips
+        let engine = FftEngine::new();
+        let shape = Vec3::new(7, 10, 1);
+        let img = ops::random(shape, 77);
+        let spec = engine.rfft3(&img);
+        assert_eq!(spec.half().shape(), Vec3::new(7, 6, 1));
+        assert!(spec.stored_bins() < shape.len());
+        let back = engine.irfft3(spec);
+        assert!(back.max_abs_diff(&img) < 1e-5);
     }
 
     #[test]

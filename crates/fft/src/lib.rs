@@ -13,29 +13,55 @@
 //! Hermitian: `X[−f] = conj(X[f])`. The engine exploits this the same
 //! way FFTW/MKL r2c plans do:
 //!
-//! * **Storage.** A spectrum is a [`znn_tensor::Spectrum`]: the z-bins
-//!   `0..=⌊m_z/2⌋` of the full transform (`⌊m_z/2⌋+1` complex values
-//!   per z-line) plus the logical full shape. The dropped bins are
-//!   implied by symmetry. This halves the size of every memoized
+//! * **Storage.** A spectrum is a [`znn_tensor::Spectrum`]: the bins
+//!   `0..=⌊m/2⌋` along the *packed axis* (`⌊m/2⌋+1` complex values per
+//!   line) plus the logical full shape. The packed axis is the last
+//!   non-unit axis — `z` for volumes, `y` for flat `m_z == 1` images —
+//!   so 2D workloads get the same halving as 3D ones. The dropped bins
+//!   are implied by symmetry. This halves the size of every memoized
 //!   spectrum — the paper's main RAM consumer (§IV).
-//! * **Compute.** The z-stage packs each even-length real line of
-//!   `m_z` samples into `m_z/2` complex samples
+//! * **Compute.** The packed stage turns each even-length real line of
+//!   `m` samples into `m/2` complex samples
 //!   (`z[t] = x[2t] + i·x[2t+1]`), runs a half-length complex FFT, and
-//!   unpacks with one twiddle pass — ~2× fewer z FLOPs. The `y`/`x`
-//!   stages are ordinary c2c line transforms over the already-halved
-//!   tensor, so they also do half the work of the c2c pipeline.
+//!   unpacks with one twiddle pass — ~2× fewer FLOPs on that stage. The
+//!   remaining stages are ordinary c2c line transforms over the
+//!   already-halved tensor, so they also do half the work of the c2c
+//!   pipeline. The inverse consumes its spectrum *in place*: the c2r
+//!   unpack writes each real line into the storage its complex bins
+//!   occupied and compacts, so no output buffer is allocated per call.
 //! * **Padding discipline.** Transform shapes come from
-//!   [`good_shape`]: 5-smooth per axis, and *even* on `z`
-//!   ([`good_size_even`]) so the packed z-stage always applies and the
-//!   half-spectrum is tight. Odd z extents still work (a full-length
-//!   fallback per line, truncated to the stored bins) — they are just
-//!   slower, and `good_shape` avoids them. Unit axes are never
-//!   inflated: a `z`-extent of 1 stays 1 (identity transform).
+//!   [`good_shape`]: 5-smooth per axis, and *even* on the packed axis
+//!   ([`good_size_even`]) so the packed stage always applies and the
+//!   half-spectrum is tight. Odd packed extents still work (a
+//!   full-length fallback per line, truncated to the stored bins) —
+//!   they are just slower, and `good_shape` avoids them. Unit axes are
+//!   never inflated: an extent of 1 stays 1 (identity transform).
 //! * **Frequency-domain algebra.** Sums and pointwise products of
 //!   real-image spectra are still spectra of real images (Hermitian
 //!   symmetry is closed under both), so convergent-edge accumulation,
 //!   [`spectra::flip_spectrum`], and [`spectra::corr_spectrum`] all
 //!   operate directly on half-spectra at half cost.
+//!
+//! # Kernels and threading
+//!
+//! The 1D line transforms come from the vendored `rustfft` shim, which
+//! routes power-of-two lengths through **iterative Stockham autosort
+//! kernels** (hardcoded radix-4 butterflies plus one trailing radix-2
+//! stage for odd `log2 n`, per-stage twiddle tables, no bit-reversal)
+//! and every other length through the recursive mixed-radix fallback —
+//! `good_shape`'s 5-smooth sizes keep the fallback's naive-DFT base
+//! case cold. The fallback boundary is per *line length*: a 48³
+//! transform (48 = 2⁴·3) is all fallback, a 64³ transform is all
+//! Stockham.
+//!
+//! On top of the kernels, [`FftEngine`] splits every batched line loop
+//! — the contiguous packed stage, the strided `x`/`y` stages, and the
+//! r2c pack / c2r unpack — across up to [`FftEngine::threads`] scoped
+//! worker threads at line granularity. Scratch is per worker thread
+//! (thread-local), chunk boundaries are a pure function of the worker
+//! count, and each line's arithmetic is chunk-independent, so threaded
+//! transforms are bit-for-bit equal to single-threaded ones; see the
+//! [threading model](FftEngine#threading-model) for ownership details.
 //!
 //! The staged API (`forward_padded` → pointwise multiply-accumulate in
 //! `znn_tensor::ops` (`mul_s`, `mul_add_assign_s`, `add_assign_s`) →

@@ -5,7 +5,7 @@
 //! the same policy fftw's `fftw_next_fast_size` uses minus the factor 7,
 //! which `rustfft` does not special-case as heavily.
 
-use znn_tensor::Vec3;
+use znn_tensor::{Spectrum, Vec3};
 
 /// True when `n` has no prime factor larger than 5.
 pub(crate) fn is_smooth(mut n: usize) -> bool {
@@ -32,9 +32,9 @@ pub fn good_size(n: usize) -> usize {
 /// The smallest *even* 5-smooth integer `>= n`, except that `n <= 1`
 /// stays `1` (a unit axis is the identity and must not be inflated).
 ///
-/// Used for the `z` axis: the r2c z-stage packs an even-length real
-/// line into a half-length complex transform, so even z extents get
-/// the full 2× FLOP saving and the tight `m_z/2 + 1`-bin spectrum.
+/// Used for the packed axis: the r2c packed stage turns an even-length
+/// real line into a half-length complex transform, so even extents get
+/// the full 2× FLOP saving and the tight `m/2 + 1`-bin spectrum.
 pub fn good_size_even(n: usize) -> usize {
     if n <= 1 {
         return 1;
@@ -46,10 +46,16 @@ pub fn good_size_even(n: usize) -> usize {
     m
 }
 
-/// Applies [`good_size`] to the `x`/`y` axes and [`good_size_even`] to
-/// the contiguous `z` axis, keeping the r2c half-spectrum packing tight.
+/// Applies [`good_size`] per axis, except the packed axis
+/// ([`Spectrum::packed_axis`] — `z` for volumes, `y` for flat `m_z == 1`
+/// shapes) which gets [`good_size_even`], keeping the r2c half-spectrum
+/// packing tight on every workload. Padding never inflates a unit axis,
+/// so the packed axis of the padded shape matches the input's.
 pub fn good_shape(s: Vec3) -> Vec3 {
-    Vec3::new(good_size(s[0]), good_size(s[1]), good_size_even(s[2]))
+    let pa = Spectrum::packed_axis(s);
+    let mut g = Vec3::new(good_size(s[0]), good_size(s[1]), good_size(s[2]));
+    g[pa] = good_size_even(s[pa]);
+    g
 }
 
 #[cfg(test)]
@@ -119,5 +125,16 @@ mod tests {
     fn good_shape_keeps_z_even() {
         assert_eq!(good_shape(Vec3::new(7, 9, 9)), Vec3::new(8, 9, 10));
         assert_eq!(good_shape(Vec3::cube(5)), Vec3::new(5, 5, 6));
+    }
+
+    #[test]
+    fn good_shape_keeps_the_packed_axis_even_on_flat_shapes() {
+        // flat (m_z == 1) shapes pack along y, 1D rows along x — the
+        // padded extent there must be even so the r2c packing applies
+        assert_eq!(good_shape(Vec3::new(7, 9, 1)), Vec3::new(8, 10, 1));
+        assert_eq!(good_shape(Vec3::new(5, 5, 1)), Vec3::new(5, 6, 1));
+        assert_eq!(good_shape(Vec3::new(9, 1, 1)), Vec3::new(10, 1, 1));
+        // unit axes are never inflated
+        assert_eq!(good_shape(Vec3::one()), Vec3::one());
     }
 }

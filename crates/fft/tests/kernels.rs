@@ -1,0 +1,172 @@
+//! Differential pins for the FFT kernels underneath the engine.
+//!
+//! The vendored `rustfft` shim routes power-of-two lengths through the
+//! iterative Stockham radix-4/2 kernels and everything else through the
+//! recursive mixed-radix fallback. These tests pin both against the
+//! O(n²) naive DFT across the lengths the engine actually plans
+//! (5-smooth, with primes exercising the fallback's naive base case),
+//! and pin the multi-threaded engine against the single-threaded one
+//! bit-for-bit.
+
+use proptest::prelude::*;
+use rustfft::num_complex::Complex;
+use rustfft::{FftDirection, FftPlanner};
+use znn_fft::FftEngine;
+use znn_tensor::{ops, Vec3};
+
+/// O(n²) reference DFT with f64 accumulation.
+fn naive_dft(x: &[Complex<f32>], sign: f64) -> Vec<Complex<f32>> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::new(0.0f64, 0.0f64);
+            for (t, &v) in x.iter().enumerate() {
+                let ang = sign * 2.0 * std::f64::consts::PI * (k * t % n) as f64 / n as f64;
+                acc += Complex::new(v.re as f64, v.im as f64) * Complex::new(ang.cos(), ang.sin());
+            }
+            Complex::new(acc.re as f32, acc.im as f32)
+        })
+        .collect()
+}
+
+/// A deterministic pseudo-random complex signal in [-0.5, 0.5]².
+fn signal(n: usize, seed: u64) -> Vec<Complex<f32>> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f32 / (1u64 << 53) as f32 - 0.5
+    };
+    (0..n).map(|_| Complex::new(next(), next())).collect()
+}
+
+fn check_both_directions(n: usize, seed: u64) {
+    let mut planner = FftPlanner::new();
+    let x = signal(n, seed);
+    for (dir, sign) in [(FftDirection::Forward, -1.0), (FftDirection::Inverse, 1.0)] {
+        let mut got = x.clone();
+        planner.plan_fft(n, dir).process(&mut got);
+        let want = naive_dft(&x, sign);
+        // error grows ~ sqrt(n) for the fast kernels; the naive f32 DFT
+        // baseline dominates, so scale the bound with n
+        let tol = 1e-5 * (n as f32) + 1e-4;
+        for (k, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (*a - *b).norm() < tol,
+                "len {n} {dir:?} bin {k}: {a:?} vs {b:?}"
+            );
+        }
+    }
+}
+
+/// Every 5-smooth length up to 512 — pure powers of two take the
+/// Stockham kernels, everything else the mixed-radix fallback.
+#[test]
+fn dense_sweep_of_smooth_lengths_matches_naive_dft() {
+    let mut lengths = Vec::new();
+    for n in 2..=512usize {
+        let mut m = n;
+        for p in [2, 3, 5] {
+            while m % p == 0 {
+                m /= p;
+            }
+        }
+        if m == 1 {
+            lengths.push(n);
+        }
+    }
+    assert!(lengths.len() > 40, "sweep too sparse: {}", lengths.len());
+    for &n in &lengths {
+        check_both_directions(n, 0xD1CE ^ n as u64);
+    }
+}
+
+/// Primes hit the fallback's naive base case directly.
+#[test]
+fn prime_lengths_hit_the_fallback() {
+    for n in [2usize, 3, 5, 7, 11, 13, 17, 31, 61, 97, 101] {
+        check_both_directions(n, 0xBEEF ^ n as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random 2^a·3^b·5^c lengths (including pure powers of two and the
+    /// mixed-factor shapes that straddle the Stockham/fallback
+    /// boundary), random signals.
+    #[test]
+    fn iterative_kernels_match_naive_dft(
+        (a, b, c) in (0u32..10, 0u32..5, 0u32..4).prop_filter(
+            "length in [2, 600]",
+            |&(a, b, c)| {
+                let n = 2usize.pow(a) * 3usize.pow(b) * 5usize.pow(c);
+                (2..=600).contains(&n)
+            },
+        ),
+        seed in any::<u64>(),
+    ) {
+        let n = 2usize.pow(a) * 3usize.pow(b) * 5usize.pow(c);
+        check_both_directions(n, seed);
+    }
+
+    /// Forward-then-inverse is the identity times n, for both kernel
+    /// families.
+    #[test]
+    fn round_trip_is_unnormalized_identity(
+        (a, b) in (1u32..9, 0u32..4).prop_filter(
+            "length in [2, 768]",
+            |&(a, b)| (2..=768).contains(&(2usize.pow(a) * 3usize.pow(b))),
+        ),
+        seed in any::<u64>(),
+    ) {
+        let n = 2usize.pow(a) * 3usize.pow(b);
+        let mut planner = FftPlanner::new();
+        let x = signal(n, seed);
+        let mut buf = x.clone();
+        planner.plan_fft_forward(n).process(&mut buf);
+        planner.plan_fft_inverse(n).process(&mut buf);
+        for (a, b) in buf.iter().zip(&x) {
+            let scaled = Complex::new(a.re / n as f32, a.im / n as f32);
+            prop_assert!((scaled - *b).norm() < 1e-4, "len {}", n);
+        }
+    }
+
+    /// The multi-threaded engine must match the single-threaded one
+    /// bit-for-bit on every shape — the determinism contract of the
+    /// parallel line transforms (scoped workers run even on one core).
+    #[test]
+    fn threaded_transforms_are_deterministic(
+        shape in (3usize..34, 3usize..34, 1usize..34).prop_filter(
+            "past the parallel threshold on at least one stage",
+            |&(x, y, z)| x * y * z >= 12_000,
+        ),
+        threads in 2usize..7,
+        seed in any::<u64>(),
+    ) {
+        let m = Vec3::new(shape.0, shape.1, shape.2);
+        let serial = FftEngine::with_threads(1);
+        let parallel = FftEngine::with_threads(threads);
+        let img = ops::random(m, seed);
+        let s_spec = serial.rfft3(&img);
+        let p_spec = parallel.rfft3(&img);
+        let fwd_drift = s_spec
+            .half()
+            .as_slice()
+            .iter()
+            .zip(p_spec.half().as_slice())
+            .map(|(a, b)| (a - b).norm())
+            .fold(0.0f32, f32::max);
+        prop_assert!(fwd_drift == 0.0, "forward drift {} on {}", fwd_drift, m);
+        let s_back = serial.irfft3(s_spec);
+        let p_back = parallel.irfft3(p_spec);
+        prop_assert!(
+            s_back.max_abs_diff(&p_back) == 0.0,
+            "inverse drift on {}",
+            m
+        );
+        // and the round trip still lands on the input
+        prop_assert!(p_back.max_abs_diff(&img) < 1e-4);
+    }
+}

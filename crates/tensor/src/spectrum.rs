@@ -1,22 +1,33 @@
 //! The half-spectrum representation of real-input 3D transforms.
 //!
 //! The DFT of a real image is Hermitian-symmetric: `X[-f] = conj(X[f])`.
-//! Storing only the non-negative `z` frequencies — `⌊m_z/2⌋ + 1` bins
-//! per z-line instead of `m_z` — halves the memory of every spectrum
-//! without losing information. [`Spectrum`] pairs that packed tensor
-//! with the *logical* full transform shape, so shape agreement between
-//! spectra (and the placement of the Nyquist bin) is checked once at
-//! construction instead of silently drifting at each pointwise op.
+//! Storing only the non-negative frequencies along one axis —
+//! `⌊m/2⌋ + 1` bins per line instead of `m` — halves the memory of
+//! every spectrum without losing information. [`Spectrum`] pairs that
+//! packed tensor with the *logical* full transform shape, so shape
+//! agreement between spectra (and the placement of the Nyquist bin) is
+//! checked once at construction instead of silently drifting at each
+//! pointwise op.
+//!
+//! The halved axis is the [`Spectrum::packed_axis`]: the *last non-unit
+//! axis* of the full shape. For 3D volumes that is `z` (the contiguous
+//! axis); for flat 2D workloads (`m_z == 1`) it is `y` — whose lines
+//! are contiguous in memory exactly because `z` is unit — so flat
+//! shapes get the same memory and FLOP halving as volumes. Because the
+//! packed axis is a pure function of the full shape, every consumer
+//! (pointwise ops, spectrum identities, caches) agrees on the layout
+//! without extra state.
 
 use crate::{CImage, Vec3};
 
-/// A half-spectrum: the stored z-bins `0..=⌊m_z/2⌋` of the 3D DFT of a
-/// real image, plus the logical full transform shape.
+/// A half-spectrum: the stored packed-axis bins `0..=⌊m/2⌋` of the 3D
+/// DFT of a real image, plus the logical full transform shape.
 ///
 /// Invariant: `half.shape() == Spectrum::half_shape(full)`. Pointwise
 /// frequency-domain ops must only combine spectra with equal `full`
-/// shapes — equal *half* shapes are not sufficient, because full z
-/// extents `2h-1` (odd) and `2h-2` (even) pack to the same `h` bins.
+/// shapes — equal *half* shapes are not sufficient, because full
+/// packed-axis extents `2h-1` (odd) and `2h-2` (even) pack to the same
+/// `h` bins.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Spectrum {
     half: CImage,
@@ -24,11 +35,33 @@ pub struct Spectrum {
 }
 
 impl Spectrum {
+    /// The axis along which a real transform of shape `full` stores only
+    /// half its bins: the last non-unit axis (`z` for volumes, `y` for
+    /// flat `m_z == 1` images, `x` for 1D rows), defaulting to `z` for
+    /// the all-unit shape. Lines along this axis are always contiguous,
+    /// because every later axis is unit.
+    #[inline]
+    pub fn packed_axis(full: Vec3) -> usize {
+        if full[2] > 1 {
+            2
+        } else if full[1] > 1 {
+            1
+        } else if full[0] > 1 {
+            0
+        } else {
+            2
+        }
+    }
+
     /// The packed shape of a real transform of logical shape `full`:
-    /// same `x`/`y` extents, `⌊m_z/2⌋ + 1` z-bins.
+    /// `⌊m/2⌋ + 1` bins along the [`Spectrum::packed_axis`], full
+    /// extents elsewhere.
     #[inline]
     pub fn half_shape(full: Vec3) -> Vec3 {
-        Vec3::new(full[0], full[1], full[2] / 2 + 1)
+        let a = Self::packed_axis(full);
+        let mut h = full;
+        h[a] = full[a] / 2 + 1;
+        h
     }
 
     /// Wraps a packed tensor produced for a transform of shape `full`.
@@ -103,8 +136,22 @@ mod tests {
     fn half_shape_counts_nonredundant_bins() {
         assert_eq!(Spectrum::half_shape(Vec3::new(4, 6, 8)), Vec3::new(4, 6, 5));
         assert_eq!(Spectrum::half_shape(Vec3::new(4, 6, 7)), Vec3::new(4, 6, 4));
-        assert_eq!(Spectrum::half_shape(Vec3::new(3, 3, 1)), Vec3::new(3, 3, 1));
+        // flat shapes pack along y (their contiguous non-unit axis)
+        assert_eq!(Spectrum::half_shape(Vec3::new(3, 3, 1)), Vec3::new(3, 2, 1));
+        assert_eq!(Spectrum::half_shape(Vec3::new(3, 8, 1)), Vec3::new(3, 5, 1));
+        // 1D rows pack along x; all-unit stays unit
+        assert_eq!(Spectrum::half_shape(Vec3::new(8, 1, 1)), Vec3::new(5, 1, 1));
+        assert_eq!(Spectrum::half_shape(Vec3::one()), Vec3::one());
         assert_eq!(Spectrum::half_shape(Vec3::new(1, 1, 2)), Vec3::new(1, 1, 2));
+    }
+
+    #[test]
+    fn packed_axis_is_last_non_unit_axis() {
+        assert_eq!(Spectrum::packed_axis(Vec3::cube(4)), 2);
+        assert_eq!(Spectrum::packed_axis(Vec3::new(4, 6, 1)), 1);
+        assert_eq!(Spectrum::packed_axis(Vec3::new(4, 1, 1)), 0);
+        assert_eq!(Spectrum::packed_axis(Vec3::new(1, 6, 1)), 1);
+        assert_eq!(Spectrum::packed_axis(Vec3::one()), 2);
     }
 
     #[test]

@@ -1,14 +1,55 @@
 //! Minimal offline stand-in for the `rayon` crate.
 //!
-//! Provides the `par_iter().map(..).collect()` pipeline the layerwise
-//! baseline uses, implemented with `std::thread::scope` fork-join over
-//! contiguous chunks. Ordering is preserved: results are concatenated
-//! in chunk order, so `collect::<Vec<_>>()` matches the sequential
-//! result exactly.
+//! Provides two subsets of the upstream API, both implemented with
+//! `std::thread::scope` fork-join:
+//!
+//! * the `par_iter().map(..).collect()` pipeline the layerwise baseline
+//!   uses, over contiguous chunks. Ordering is preserved: results are
+//!   concatenated in chunk order, so `collect::<Vec<_>>()` matches the
+//!   sequential result exactly;
+//! * [`scope`]/[`Scope::spawn`], the structured fork-join primitive
+//!   `znn-fft` uses to split batched line transforms across workers.
+//!   Like upstream, `scope` returns only after every spawned task has
+//!   finished, and tasks may borrow from the enclosing stack frame.
+//!
+//! Unlike upstream there is no shared thread pool: each `scope` spawns
+//! its workers as short-lived OS threads. Callers amortize this by only
+//! splitting work that is large enough (see `znn-fft`'s parallelism
+//! threshold).
 
 /// The traits the workspace imports via `rayon::prelude::*`.
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
+}
+
+/// A fork-join scope: tasks spawned on it may borrow anything that
+/// outlives the [`scope`] call, and all of them complete before `scope`
+/// returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Runs `body` on a worker thread of this scope. The closure
+    /// receives the scope again so it can spawn nested tasks, matching
+    /// upstream's signature (`s.spawn(|s| ...)`).
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || body(&Scope { inner }));
+    }
+}
+
+/// Creates a fork-join scope, upstream-style: `f` may spawn tasks that
+/// borrow from the caller's stack; every task is joined before `scope`
+/// returns (a panicking task propagates its panic here).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
 }
 
 /// Types that can produce a parallel iterator over `&Self` items.
@@ -96,6 +137,31 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn scope_joins_all_spawned_tasks() {
+        let mut parts = vec![0u64; 8];
+        super::scope(|s| {
+            for (i, p) in parts.iter_mut().enumerate() {
+                s.spawn(move |_| *p = (i as u64 + 1) * 10);
+            }
+        });
+        assert_eq!(parts, (1..=8).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_supports_nested_spawns() {
+        let flags = std::sync::Mutex::new(Vec::new());
+        super::scope(|s| {
+            s.spawn(|s| {
+                flags.lock().unwrap().push("outer");
+                s.spawn(|_| flags.lock().unwrap().push("inner"));
+            });
+        });
+        let got = flags.into_inner().unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], "outer");
+    }
 
     #[test]
     fn parallel_map_preserves_order() {
