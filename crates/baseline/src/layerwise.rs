@@ -4,7 +4,11 @@
 //! *between* layers (paper §XI: "computation on one whole layer at a
 //! time"). This engine reproduces that execution model on the CPU with
 //! rayon: all edges whose source sits at the same depth run in
-//! parallel, then a barrier, then the next depth. Convolution is always
+//! parallel, then a barrier, then the next depth. The `par_iter`
+//! sweeps run on the same **persistent worker pool** as every other
+//! parallel path in the workspace (the vendored rayon shim's global
+//! pool, or whatever pool an enclosing `ThreadPool::install` makes
+//! current) — no threads are spawned per level. Convolution is always
 //! direct — the property that drives the FFT-vs-direct crossover in
 //! Figs 8–9.
 

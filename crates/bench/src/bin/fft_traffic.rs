@@ -14,6 +14,14 @@
 //! Emits `BENCH_fft.json` with every number so the perf trajectory is
 //! tracked across PRs. `--smoke` runs one small size (CI keeps the
 //! bench bins from rotting without paying for the full sweep).
+//!
+//! `--spawn-compare` adds the pool-reuse vs spawn-per-call sweep: the
+//! same 2-way-split r2c transform timed on the persistent worker pool
+//! and on the old spawn-an-OS-thread-per-chunk scope, at 8³–64³ (the
+//! split threshold is lowered so even 8³ actually forks). The pool
+//! must win at ≤32³, where thread spawn latency rivals the transform
+//! itself; both series land in `BENCH_fft.json` under
+//! `"spawn_compare"` so the trend is tracked.
 
 use std::fmt::Write as _;
 use znn_bench::{fmt, header, row, time_per_round};
@@ -26,8 +34,15 @@ struct ThreadPoint {
     inv_s: f64,
 }
 
+struct SpawnPoint {
+    n: usize,
+    pool_s: f64,
+    spawn_s: f64,
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let spawn_compare = std::env::args().any(|a| a == "--spawn-compare");
     let sizes: &[usize] = if smoke { &[16] } else { &[16, 24, 32, 48, 64] };
     let host = std::thread::available_parallelism()
         .map(|v| v.get())
@@ -134,7 +149,69 @@ fn main() {
         println!();
     }
     json.push_str(&records.join(",\n"));
-    json.push_str("\n  ]\n}\n");
+    json.push_str("\n  ]");
+
+    if spawn_compare {
+        // Pool-reuse vs spawn-per-call: identical 2-way-split r2c
+        // transforms, chunks queued on the persistent pool vs one
+        // fresh OS thread per chunk (the pre-pool shim). The split
+        // threshold drops to 1 element so every size really forks —
+        // at 8³ the transform is microseconds and thread spawn
+        // dominates; the gap should close as n³ grows.
+        let cmp_sizes: &[usize] = if smoke { &[8, 16] } else { &[8, 16, 24, 32, 48, 64] };
+        let pooled = FftEngine::with_threads(2).par_threshold(1);
+        let spawny = FftEngine::with_spawn_per_call(2).par_threshold(1);
+        println!("\n# spawn-compare — persistent pool vs spawn-per-call (2-way split)\n");
+        header(&["shape", "pool s", "pool tps", "spawn s", "spawn tps", "pool speedup"]);
+        let mut points = Vec::new();
+        for &n in cmp_sizes {
+            let img = ops::random(Vec3::cube(n), 7);
+            let (warm, reps) = if n >= 48 { (1, 3) } else { (2, 8) };
+            let pool_s = time_per_round(warm, reps, || {
+                std::hint::black_box(pooled.rfft3(&img));
+            });
+            let spawn_s = time_per_round(warm, reps, || {
+                std::hint::black_box(spawny.rfft3(&img));
+            });
+            row(&[
+                format!("{n}³"),
+                fmt(pool_s),
+                format!("{:.2}", 1.0 / pool_s),
+                fmt(spawn_s),
+                format!("{:.2}", 1.0 / spawn_s),
+                format!("{:.2}x", spawn_s / pool_s),
+            ]);
+            points.push(SpawnPoint { n, pool_s, spawn_s });
+        }
+        let losses: Vec<usize> = points
+            .iter()
+            .filter(|p| p.n <= 32 && p.pool_s > p.spawn_s)
+            .map(|p| p.n)
+            .collect();
+        if losses.is_empty() {
+            println!("\ntrend ok: the pool wins at every size ≤ 32³");
+        } else {
+            println!("\nWARNING: spawn-per-call beat the pool at {losses:?} — regression?");
+        }
+        json.push_str(",\n  \"spawn_compare\": [\n");
+        let recs: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"n\": {}, \"pool_fwd_s\": {:.6e}, \"pool_tps\": {:.2}, \
+                     \"spawn_fwd_s\": {:.6e}, \"spawn_tps\": {:.2}}}",
+                    p.n,
+                    p.pool_s,
+                    1.0 / p.pool_s,
+                    p.spawn_s,
+                    1.0 / p.spawn_s,
+                )
+            })
+            .collect();
+        json.push_str(&recs.join(",\n"));
+        json.push_str("\n  ]");
+    }
+    json.push_str("\n}\n");
 
     println!("shape check: bytes ratio tends to 1/2 (exactly (⌊n/2⌋+1)/n");
     println!("per packed line) and the r2c transform speedup approaches ~2x");
@@ -153,6 +230,12 @@ fn main() {
 
     match std::fs::write("BENCH_fft.json", &json) {
         Ok(()) => println!("\nwrote BENCH_fft.json"),
-        Err(e) => eprintln!("\ncould not write BENCH_fft.json: {e}"),
+        Err(e) => {
+            // fail loudly: CI greps the file for the spawn-compare
+            // fields, and a swallowed write error would let that
+            // check pass vacuously against a stale committed copy
+            eprintln!("\ncould not write BENCH_fft.json: {e}");
+            std::process::exit(1);
+        }
     }
 }

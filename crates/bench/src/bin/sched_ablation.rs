@@ -4,6 +4,8 @@
 //! Simulated makespans come from the discrete-event scheduler running
 //! the real task graph on the Table V machines; the host rows run the
 //! real engine under each queue policy on this machine's threads.
+//! `--smoke` shrinks the networks and rounds so CI can keep this bin
+//! building and running without paying for the full ablation.
 
 use znn_bench::{fmt, header, row, time_per_round};
 use znn_core::{ConvPolicy, TrainConfig, Znn};
@@ -15,16 +17,19 @@ use znn_tensor::{ops, Vec3};
 use znn_theory::flops::ConvAlgorithm;
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let width = if smoke { 4 } else { 20 };
+    let sim_rounds = if smoke { 1 } else { 2 };
     println!("# §X — scheduling ablation (simulated makespan, lower is better)\n");
     let machine = Machine::xeon_e5_18core();
     header(&["network", "priority", "fifo", "lifo", "binary-heap"]);
     for (name, tgc) in [
-        ("2D width 20", {
-            let (g, _) = scalability_net_2d(20);
+        (format!("2D width {width}"), {
+            let (g, _) = scalability_net_2d(width);
             task_costs(&g, Vec3::flat(48, 48), ConvAlgorithm::Fft, true).unwrap()
         }),
-        ("3D width 20", {
-            let (g, _) = scalability_net_3d(20);
+        (format!("3D width {width}"), {
+            let (g, _) = scalability_net_3d(width);
             task_costs(&g, Vec3::cube(12), ConvAlgorithm::Direct, false).unwrap()
         }),
     ] {
@@ -37,14 +42,14 @@ fn main() {
                 &SimConfig {
                     workers: 18,
                     policy,
-                    rounds: 2,
+                    rounds: sim_rounds,
                     ..Default::default()
                 },
             )
             .makespan
         };
         row(&[
-            name.into(),
+            name.clone(),
             fmt(run(QueuePolicy::Priority)),
             fmt(run(QueuePolicy::Fifo)),
             fmt(run(QueuePolicy::Lifo)),
@@ -57,8 +62,14 @@ fn main() {
 
     println!("# host rows: real engine under each policy (s/update)\n");
     header(&["policy", "s/update"]);
-    let (g, _) = scalability_net_3d(4);
-    for policy in [QueuePolicy::Priority, QueuePolicy::Fifo, QueuePolicy::Lifo] {
+    let (g, _) = scalability_net_3d(if smoke { 2 } else { 4 });
+    let policies: &[QueuePolicy] = if smoke {
+        &[QueuePolicy::Priority]
+    } else {
+        &[QueuePolicy::Priority, QueuePolicy::Fifo, QueuePolicy::Lifo]
+    };
+    let (warm, reps) = if smoke { (0, 1) } else { (1, 4) };
+    for &policy in policies {
         let cfg = TrainConfig {
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             queue: policy,
@@ -68,7 +79,7 @@ fn main() {
         let znn = Znn::new(g.clone(), Vec3::cube(4), cfg).unwrap();
         let x = ops::random(znn.input_shape(), 1);
         let t = ops::random(Vec3::cube(4), 2);
-        let dt = time_per_round(1, 4, || {
+        let dt = time_per_round(warm, reps, || {
             znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
         });
         row(&[format!("{policy:?}"), fmt(dt)]);

@@ -3,8 +3,13 @@
 //!
 //! ```sh
 //! znn-train --spec net.znn --out 8 --rounds 50 --lr 0.01 \
-//!           [--workers N] [--fft|--direct] [--no-memoize] [--stealing]
+//!           [--workers N] [--fft-threads N] [--fft|--direct] \
+//!           [--no-memoize] [--stealing]
 //! ```
+//!
+//! `--fft-threads` caps intra-transform FFT parallelism; by default
+//! transforms share the scheduler's worker budget (idle workers donate
+//! themselves to FFT line chunks).
 //!
 //! With no `--spec`, a built-in demo spec is used.
 
@@ -31,6 +36,7 @@ struct Args {
     rounds: u64,
     lr: f32,
     workers: Option<usize>,
+    fft_threads: Option<usize>,
     conv: ConvPolicy,
     memoize: bool,
     stealing: bool,
@@ -39,7 +45,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: znn-train [--spec FILE] [--out N] [--rounds N] [--lr F]\n\
-         \t[--workers N] [--fft|--direct] [--no-memoize] [--stealing]"
+         \t[--workers N] [--fft-threads N] [--fft|--direct]\n\
+         \t[--no-memoize] [--stealing]"
     );
     std::process::exit(2)
 }
@@ -51,6 +58,7 @@ fn parse_args() -> Args {
         rounds: 30,
         lr: 0.01,
         workers: None,
+        fft_threads: None,
         conv: ConvPolicy::Autotune,
         memoize: true,
         stealing: false,
@@ -64,6 +72,9 @@ fn parse_args() -> Args {
             "--rounds" => args.rounds = val().parse().unwrap_or_else(|_| usage()),
             "--lr" => args.lr = val().parse().unwrap_or_else(|_| usage()),
             "--workers" => args.workers = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--fft-threads" => {
+                args.fft_threads = Some(val().parse().unwrap_or_else(|_| usage()))
+            }
             "--fft" => args.conv = ConvPolicy::ForceFft,
             "--direct" => args.conv = ConvPolicy::ForceDirect,
             "--no-memoize" => args.memoize = false,
@@ -105,6 +116,7 @@ fn main() -> ExitCode {
         workers: args.workers.unwrap_or_else(|| {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         }),
+        fft_threads: args.fft_threads,
         learning_rate: args.lr,
         conv: args.conv,
         memoize_fft: args.memoize,

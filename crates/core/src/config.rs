@@ -26,6 +26,15 @@ pub struct TrainConfig {
     /// Use the §X work-stealing scheduler instead of the global
     /// priority queue (priorities are then ignored).
     pub work_stealing: bool,
+    /// Worker cap for intra-transform FFT line parallelism. `None`
+    /// (the default) shares the scheduler's thread budget: transforms
+    /// may fan out across up to [`TrainConfig::workers`] chunks, which
+    /// run on the task's own thread and on idle scheduler workers
+    /// donating to the engine's fork-join pool — never on extra OS
+    /// threads. `Some(1)` forces transforms serial; `Some(n)` caps the
+    /// fan-out at `n` chunks. Transforms are bit-for-bit identical for
+    /// every value.
+    pub fft_threads: Option<usize>,
     /// SGD learning rate η.
     pub learning_rate: f32,
     /// Momentum coefficient (0 disables; classic heavy-ball).
@@ -54,6 +63,7 @@ impl Default for TrainConfig {
                 .unwrap_or(1),
             queue: QueuePolicy::Priority,
             work_stealing: false,
+            fft_threads: None,
             learning_rate: 0.01,
             momentum: 0.0,
             weight_decay: 0.0,
@@ -90,6 +100,8 @@ mod tests {
         assert_eq!(c.conv, ConvPolicy::Autotune);
         assert!(c.memoize_fft);
         assert!(c.dropout.is_none());
+        // FFT line parallelism shares the scheduler's budget by default
+        assert!(c.fft_threads.is_none());
     }
 
     #[test]

@@ -110,11 +110,15 @@ impl Znn {
             .map(|i| shape_map[&NodeId(i)])
             .collect();
 
-        // one worker per transform: the task scheduler already spreads
-        // convolution tasks across the cores, so intra-transform line
-        // parallelism here would only oversubscribe (ROADMAP notes the
-        // follow-on of budgeting both from the training config)
-        let fft = Arc::new(FftEngine::with_threads(1));
+        // one thread budget for task- and data-parallelism: transforms
+        // fan out over a donor-only fork-join pool whose jobs run on
+        // the calling task's thread and on idle scheduler workers
+        // (which donate below) — never on extra OS threads. The cap
+        // defaults to the scheduler's worker count and is routed from
+        // the training config.
+        let fft_pool = Arc::new(rayon::ThreadPool::donor_only());
+        let fft_threads = cfg.fft_threads.unwrap_or(cfg.workers).max(1);
+        let fft = Arc::new(FftEngine::with_pool(fft_threads, Arc::clone(&fft_pool)));
         // decide the convolution method per distinct layer geometry (§IV)
         let mut method_cache: HashMap<(Vec3, Vec3, Vec3), ConvMethod> = HashMap::new();
         let mut edge_method = vec![ConvMethod::Direct; graph.edge_count()];
@@ -235,9 +239,16 @@ impl Znn {
         let outputs = graph.outputs().len();
         let inputs = graph.inputs().len();
         let sched = if cfg.work_stealing {
-            Pool::Stealing(StealingExecutor::new(cfg.workers))
+            Pool::Stealing(StealingExecutor::with_donation(
+                cfg.workers,
+                Arc::clone(&fft_pool),
+            ))
         } else {
-            Pool::Queue(Executor::new(cfg.workers, cfg.queue))
+            Pool::Queue(Executor::with_donation(
+                cfg.workers,
+                cfg.queue,
+                Arc::clone(&fft_pool),
+            ))
         };
         let inner = Arc::new(Inner {
             graph,

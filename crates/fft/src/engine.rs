@@ -2,7 +2,6 @@
 
 use parking_lot::Mutex;
 use rustfft::{Fft, FftPlanner};
-use std::cell::RefCell;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -15,27 +14,53 @@ enum Dir {
     Inv,
 }
 
-thread_local! {
-    /// Per-thread scratch reused across every transform this thread
-    /// runs: FFT in-place scratch, a line gather buffer, and the packed
-    /// line buffer of the r2c/c2r stages. Transforms are hot (one per
-    /// image per pass) — allocating these per call was measurable.
-    ///
-    /// This is also what makes the parallel line transforms thread-safe
-    /// without locking: each scoped worker thread owns its TLS slot, so
-    /// workers never share scratch. Workers spawned by [`rayon::scope`]
-    /// are fresh OS threads whose slots start empty and die with them;
-    /// the long-lived caller thread (and `znn-sched` executor workers,
-    /// which run many transforms) keep their slots warm.
-    static SCRATCH: RefCell<ScratchBuffers> = RefCell::new(ScratchBuffers::default());
-}
-
 #[derive(Default)]
 struct ScratchBuffers {
     /// `Fft::process_with_scratch` scratch.
     plan: Vec<Complex32>,
     /// Gathered strided line (x/y axes) or packed r2c/c2r line.
     line: Vec<Complex32>,
+}
+
+/// Engine-owned scratch, one slot per potential concurrent line
+/// worker: FFT in-place scratch, a line gather buffer, and the packed
+/// line buffer of the r2c/c2r stages. Transforms are hot (one per
+/// image per pass) — allocating these per call was measurable.
+///
+/// Slots replace the per-OS-thread TLS of the spawn-per-call era: with
+/// a shared persistent pool, any worker (pool thread, scope owner, or
+/// donated scheduler thread) may execute any engine's line chunk, so
+/// scratch must belong to the *engine*, not the thread. A worker
+/// `try_lock`s the first free slot for the duration of one chunk;
+/// slots are never shared concurrently, two engines on one pool never
+/// touch each other's buffers, and — because every buffer is fully
+/// overwritten before it is read — slot assignment cannot affect a
+/// single output bit.
+struct ScratchPool {
+    slots: Vec<Mutex<ScratchBuffers>>,
+}
+
+impl ScratchPool {
+    /// One slot per worker the engine may fan out to, plus one for the
+    /// calling thread.
+    fn new(workers: usize) -> Self {
+        ScratchPool {
+            slots: (0..workers + 1)
+                .map(|_| Mutex::new(ScratchBuffers::default()))
+                .collect(),
+        }
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut ScratchBuffers) -> R) -> R {
+        for s in &self.slots {
+            if let Some(mut g) = s.try_lock() {
+                return f(&mut g);
+            }
+        }
+        // more concurrent borrowers than slots (many external threads
+        // sharing one engine): fall back to a fresh buffer
+        f(&mut ScratchBuffers::default())
+    }
 }
 
 /// Grows (never shrinks) `buf` to `n` elements and returns the prefix.
@@ -68,10 +93,10 @@ impl SendPtr {
     }
 }
 
-/// Minimum complex elements in a batched line transform before it is
-/// split across worker threads. Below this, the fork-join overhead of
-/// [`rayon::scope`] (one short-lived OS thread per extra worker)
-/// outweighs the work; a 24³ stage stays serial, a 32³ stage splits.
+/// Default minimum complex elements in a batched line transform before
+/// it is split across pool workers. Below this, fork-join queueing
+/// overhead outweighs the work; a 24³ stage stays serial, a 32³ stage
+/// splits. Override with [`FftEngine::par_threshold`].
 const PAR_MIN_ELEMS: usize = 16 * 1024;
 
 /// Plan cache: one planned 1D transform per (line length, direction).
@@ -107,26 +132,47 @@ type TwiddleMap = HashMap<(usize, Dir), Arc<Vec<Complex32>>>;
 /// lines, and every batched line loop — the in-place contiguous `z`
 /// pass, the `x`/`y` gather–transform–scatter passes, and the r2c pack /
 /// c2r unpack passes — splits its lines into contiguous index ranges
-/// across up to [`FftEngine::threads`] scoped workers
-/// ([`rayon::scope`]). The split is at line granularity, each worker
-/// owns its scratch (thread-local), and each line's arithmetic is
-/// identical regardless of the worker count, so multi-threaded
-/// transforms are **bit-for-bit deterministic** and equal to the
-/// single-threaded result. Batches smaller than an internal threshold
-/// (~16k complex elements) stay serial — `FftEngine::with_threads(1)`
-/// forces everything serial.
+/// across up to [`FftEngine::threads`] chunks, queued on a
+/// **persistent pool** (`rayon::scope`): the engine's own pool when
+/// built with [`FftEngine::with_pool`], else the process-global one.
+/// No OS thread is spawned per transform; chunks run on pool workers,
+/// on the calling thread (which executes pending chunks while it
+/// waits), and on any threads *donated* to the pool by an outer task
+/// scheduler.
 ///
-/// [`FftEngine::new`] sizes the pool to `available_parallelism`; pass an
-/// explicit count with [`FftEngine::with_threads`] when composing with
-/// an outer task-parallel scheduler that already saturates the cores.
+/// The split is at line granularity, chunk boundaries are a pure
+/// function of the worker count, scratch is slotted per concurrent
+/// worker ([`ScratchPool`]) and fully overwritten before use, and each
+/// line's arithmetic is identical regardless of which thread runs it —
+/// so transforms are **bit-for-bit deterministic** and equal to the
+/// single-threaded result for every worker count and pool. Batches
+/// smaller than a threshold (~16k complex elements, see
+/// [`FftEngine::par_threshold`]) stay serial —
+/// `FftEngine::with_threads(1)` forces everything serial.
+///
+/// [`FftEngine::new`] sizes the fan-out to `available_parallelism`;
+/// pass an explicit count with [`FftEngine::with_threads`], or a count
+/// plus a shared pool with [`FftEngine::with_pool`] when composing
+/// with an outer task-parallel scheduler so both draw on one thread
+/// budget.
 pub struct FftEngine {
     planner: Mutex<FftPlanner<f32>>,
     plans: Mutex<PlanMap>,
     /// Memoized unpack/repack twiddles `e^{∓2πik/n}`, `k ∈ 0..⌊n/2⌋+1`,
     /// for the r2c/c2r packed stages, keyed by `(n, direction)`.
     rtwiddles: Mutex<TwiddleMap>,
-    /// Worker-thread cap for batched line transforms (≥ 1).
+    /// Worker cap for batched line transforms (≥ 1).
     threads: usize,
+    /// The pool line chunks are queued on; `None` targets the
+    /// process-global pool.
+    pool: Option<Arc<rayon::ThreadPool>>,
+    /// When true, scopes spawn one OS thread per chunk instead of
+    /// using the pool — the `--spawn-compare` benchmark baseline.
+    spawn_per_call: bool,
+    /// Minimum complex elements in a batch before it is split.
+    par_min_elems: usize,
+    /// Slotted per-worker scratch (see [`ScratchPool`]).
+    scratch: ScratchPool,
 }
 
 impl FftEngine {
@@ -140,18 +186,54 @@ impl FftEngine {
     }
 
     /// A new engine that splits batched line transforms over at most
-    /// `threads` workers. `with_threads(1)` disables intra-transform
-    /// parallelism entirely.
+    /// `threads` workers of the process-global pool.
+    /// `with_threads(1)` disables intra-transform parallelism
+    /// entirely.
     pub fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
         FftEngine {
             planner: Mutex::new(FftPlanner::new()),
             plans: Mutex::new(HashMap::new()),
             rtwiddles: Mutex::new(HashMap::new()),
-            threads: threads.max(1),
+            threads,
+            pool: None,
+            spawn_per_call: false,
+            par_min_elems: PAR_MIN_ELEMS,
+            scratch: ScratchPool::new(threads),
         }
     }
 
-    /// The worker-thread cap for batched line transforms.
+    /// A new engine whose line chunks are queued on `pool` — share one
+    /// pool (and so one thread budget) between several engines and an
+    /// outer task scheduler whose workers donate to it. Results are
+    /// bit-for-bit identical to every other configuration with any
+    /// `threads` ≥ 2 fan-out, and to `with_threads(1)` serially.
+    pub fn with_pool(threads: usize, pool: Arc<rayon::ThreadPool>) -> Self {
+        let mut engine = Self::with_threads(threads);
+        engine.pool = Some(pool);
+        engine
+    }
+
+    /// A new engine that spawns one short-lived OS thread per line
+    /// chunk, bypassing the persistent pool. **Benchmark baseline
+    /// only** (`fft_traffic --spawn-compare`): it reproduces the
+    /// pre-pool shim behaviour so the spawn overhead stays measurable.
+    pub fn with_spawn_per_call(threads: usize) -> Self {
+        let mut engine = Self::with_threads(threads);
+        engine.spawn_per_call = true;
+        engine
+    }
+
+    /// Overrides the minimum batch size (complex elements) before a
+    /// line loop is split across workers. The default (~16k) keeps
+    /// small transforms serial; benchmarks lower it to expose pure
+    /// fork-join overhead.
+    pub fn par_threshold(mut self, elems: usize) -> Self {
+        self.par_min_elems = elems.max(1);
+        self
+    }
+
+    /// The worker cap for batched line transforms.
     pub fn threads(&self) -> usize {
         self.threads
     }
@@ -160,10 +242,24 @@ impl FftEngine {
     /// elements across: 1 for small batches (fork overhead dominates),
     /// never more than the line count.
     fn workers_for(&self, lines: usize, line_len: usize) -> usize {
-        if self.threads <= 1 || lines * line_len < PAR_MIN_ELEMS {
+        if self.threads <= 1 || lines * line_len < self.par_min_elems {
             1
         } else {
             self.threads.min(lines)
+        }
+    }
+
+    /// Runs `f` inside the fork-join scope this engine is configured
+    /// for: its shared pool, the process-global pool, or (benchmark
+    /// baseline only) a spawn-per-call scope.
+    fn in_scope<'scope, R>(&self, f: impl FnOnce(&rayon::Scope<'scope>) -> R) -> R {
+        if self.spawn_per_call {
+            rayon::scope_spawn_per_call(f)
+        } else {
+            match &self.pool {
+                Some(p) => p.scope(f),
+                None => rayon::scope(f),
+            }
         }
     }
 
@@ -223,19 +319,18 @@ impl FftEngine {
             // contiguous lines: the buffer splits into per-worker chunks
             // at line boundaries, each processed in place
             if workers <= 1 {
-                SCRATCH.with(|s| {
-                    let s = &mut *s.borrow_mut();
+                self.scratch.with(|s| {
                     let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
                     plan.process_with_scratch(t.as_mut_slice(), scratch);
                 });
             } else {
                 let per = count.div_ceil(workers);
                 let plan = &plan;
-                rayon::scope(|sc| {
+                let scratch_pool = &self.scratch;
+                self.in_scope(|sc| {
                     for chunk in t.as_mut_slice().chunks_mut(per * len) {
                         sc.spawn(move |_| {
-                            SCRATCH.with(|s| {
-                                let s = &mut *s.borrow_mut();
+                            scratch_pool.with(|s| {
                                 let scratch =
                                     borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
                                 plan.process_with_scratch(chunk, scratch);
@@ -248,8 +343,7 @@ impl FftEngine {
         }
         let spec = LineSpec::new(shape, axis);
         if workers <= 1 {
-            SCRATCH.with(|s| {
-                let s = &mut *s.borrow_mut();
+            self.scratch.with(|s| {
                 let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
                 let buf = borrow_buf(&mut s.line, spec.len);
                 for i in 0..spec.count {
@@ -266,14 +360,14 @@ impl FftEngine {
         let per = count.div_ceil(workers);
         let plan = &plan;
         let spec = &spec;
-        rayon::scope(|sc| {
+        let scratch_pool = &self.scratch;
+        self.in_scope(|sc| {
             let mut lo = 0;
             while lo < count {
                 let hi = (lo + per).min(count);
                 sc.spawn(move |_| {
                     let ptr = base.get();
-                    SCRATCH.with(|s| {
-                        let s = &mut *s.borrow_mut();
+                    scratch_pool.with(|s| {
                         let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
                         let buf = borrow_buf(&mut s.line, spec.len);
                         for i in lo..hi {
@@ -355,8 +449,7 @@ impl FftEngine {
             let plan = (hn > 1).then(|| self.plan(hn, Dir::Fwd));
             let tw = self.rtwiddle(n, Dir::Fwd);
             let pack = |src_all: &[f32], dst_all: &mut [Complex32]| {
-                SCRATCH.with(|s| {
-                    let s = &mut *s.borrow_mut();
+                self.scratch.with(|s| {
                     let scratch = borrow_buf(
                         &mut s.plan,
                         plan.as_ref().map_or(0, |p| p.get_inplace_scratch_len()),
@@ -379,7 +472,7 @@ impl FftEngine {
                     }
                 });
             };
-            par_line_chunks(
+            self.par_line_chunks(
                 self.workers_for(lines, n),
                 lines,
                 img.as_slice(),
@@ -391,8 +484,7 @@ impl FftEngine {
         } else {
             let plan = self.plan(n, Dir::Fwd);
             let pack = |src_all: &[f32], dst_all: &mut [Complex32]| {
-                SCRATCH.with(|s| {
-                    let s = &mut *s.borrow_mut();
+                self.scratch.with(|s| {
                     let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
                     let buf = borrow_buf(&mut s.line, n);
                     for (src, dst) in src_all.chunks_exact(n).zip(dst_all.chunks_exact_mut(h)) {
@@ -404,7 +496,7 @@ impl FftEngine {
                     }
                 });
             };
-            par_line_chunks(
+            self.par_line_chunks(
                 self.workers_for(lines, n),
                 lines,
                 img.as_slice(),
@@ -468,8 +560,7 @@ impl FftEngine {
             let plan = (hn > 1).then(|| self.plan(hn, Dir::Inv));
             let tw = self.rtwiddle(n, Dir::Inv);
             let unpack = |slots: &mut [f32]| {
-                SCRATCH.with(|s| {
-                    let s = &mut *s.borrow_mut();
+                self.scratch.with(|s| {
                     let scratch = borrow_buf(
                         &mut s.plan,
                         plan.as_ref().map_or(0, |p| p.get_inplace_scratch_len()),
@@ -495,12 +586,11 @@ impl FftEngine {
                     }
                 });
             };
-            par_slot_chunks(self.workers_for(lines, n), lines, &mut data, 2 * h, &unpack);
+            self.par_slot_chunks(self.workers_for(lines, n), lines, &mut data, 2 * h, &unpack);
         } else {
             let plan = self.plan(n, Dir::Inv);
             let unpack = |slots: &mut [f32]| {
-                SCRATCH.with(|s| {
-                    let s = &mut *s.borrow_mut();
+                self.scratch.with(|s| {
                     let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
                     let buf = borrow_buf(&mut s.line, n);
                     for slot in slots.chunks_exact_mut(2 * h) {
@@ -519,7 +609,7 @@ impl FftEngine {
                     }
                 });
             };
-            par_slot_chunks(self.workers_for(lines, n), lines, &mut data, 2 * h, &unpack);
+            self.par_slot_chunks(self.workers_for(lines, n), lines, &mut data, 2 * h, &unpack);
         }
         // compact the per-slot real lines into a dense image: line i
         // moves left from 2·i·h to i·n, so a forward pass never
@@ -593,57 +683,62 @@ impl FftEngine {
     }
 }
 
-/// Runs `work` over a batch of `lines` lines that are contiguous in both
-/// buffers (`src_len` reals in, `dst_len` complexes out per line):
-/// serially for one worker, else split into per-worker chunks of whole
-/// lines. The chunk boundaries depend only on `(workers, lines)`, and
-/// each line's arithmetic is independent of its chunk, so the result is
-/// identical for every worker count.
-#[allow(clippy::too_many_arguments)]
-fn par_line_chunks(
-    workers: usize,
-    lines: usize,
-    src: &[f32],
-    src_len: usize,
-    dst: &mut [Complex32],
-    dst_len: usize,
-    work: &(impl Fn(&[f32], &mut [Complex32]) + Sync),
-) {
-    if workers <= 1 {
-        work(src, dst);
-        return;
-    }
-    let per = lines.div_ceil(workers);
-    rayon::scope(|sc| {
-        for (s_chunk, d_chunk) in src
-            .chunks(per * src_len)
-            .zip(dst.chunks_mut(per * dst_len))
-        {
-            sc.spawn(move |_| work(s_chunk, d_chunk));
+impl FftEngine {
+    /// Runs `work` over a batch of `lines` lines that are contiguous in
+    /// both buffers (`src_len` reals in, `dst_len` complexes out per
+    /// line): serially for one worker, else split into per-worker
+    /// chunks of whole lines on the engine's pool. The chunk boundaries
+    /// depend only on `(workers, lines)`, and each line's arithmetic is
+    /// independent of its chunk, so the result is identical for every
+    /// worker count.
+    #[allow(clippy::too_many_arguments)]
+    fn par_line_chunks(
+        &self,
+        workers: usize,
+        lines: usize,
+        src: &[f32],
+        src_len: usize,
+        dst: &mut [Complex32],
+        dst_len: usize,
+        work: &(impl Fn(&[f32], &mut [Complex32]) + Sync),
+    ) {
+        if workers <= 1 {
+            work(src, dst);
+            return;
         }
-    });
-}
+        let per = lines.div_ceil(workers);
+        self.in_scope(|sc| {
+            for (s_chunk, d_chunk) in src
+                .chunks(per * src_len)
+                .zip(dst.chunks_mut(per * dst_len))
+            {
+                sc.spawn(move |_| work(s_chunk, d_chunk));
+            }
+        });
+    }
 
-/// In-place variant of [`par_line_chunks`] for the c2r unpack: the
-/// buffer is one f32 slab of `lines` slots of `slot_len` floats each,
-/// split across workers at slot boundaries.
-fn par_slot_chunks(
-    workers: usize,
-    lines: usize,
-    data: &mut [f32],
-    slot_len: usize,
-    work: &(impl Fn(&mut [f32]) + Sync),
-) {
-    if workers <= 1 {
-        work(data);
-        return;
-    }
-    let per = lines.div_ceil(workers);
-    rayon::scope(|sc| {
-        for chunk in data.chunks_mut(per * slot_len) {
-            sc.spawn(move |_| work(chunk));
+    /// In-place variant of [`FftEngine::par_line_chunks`] for the c2r
+    /// unpack: the buffer is one f32 slab of `lines` slots of
+    /// `slot_len` floats each, split across workers at slot boundaries.
+    fn par_slot_chunks(
+        &self,
+        workers: usize,
+        lines: usize,
+        data: &mut [f32],
+        slot_len: usize,
+        work: &(impl Fn(&mut [f32]) + Sync),
+    ) {
+        if workers <= 1 {
+            work(data);
+            return;
         }
-    });
+        let per = lines.div_ceil(workers);
+        self.in_scope(|sc| {
+            for chunk in data.chunks_mut(per * slot_len) {
+                sc.spawn(move |_| work(chunk));
+            }
+        });
+    }
 }
 
 /// Reinterprets a `Vec<Complex32>` as the `Vec<f32>` over the same

@@ -56,11 +56,19 @@
 //!
 //! On top of the kernels, [`FftEngine`] splits every batched line loop
 //! — the contiguous packed stage, the strided `x`/`y` stages, and the
-//! r2c pack / c2r unpack — across up to [`FftEngine::threads`] scoped
-//! worker threads at line granularity. Scratch is per worker thread
-//! (thread-local), chunk boundaries are a pure function of the worker
-//! count, and each line's arithmetic is chunk-independent, so threaded
-//! transforms are bit-for-bit equal to single-threaded ones; see the
+//! r2c pack / c2r unpack — into up to [`FftEngine::threads`] chunks at
+//! line granularity, queued on a **persistent fork-join pool** (the
+//! vendored `rayon` shim): the engine's own shared pool
+//! ([`FftEngine::with_pool`]) or the process-global one. No OS thread
+//! is spawned per transform. Chunks run on pool workers, on the
+//! calling thread (which executes pending chunks while waiting on the
+//! scope), and on threads *donated* by an outer task scheduler —
+//! `znn-core` pairs a donor-only pool with its `znn-sched` executor so
+//! task- and line-parallelism share one thread budget. Scratch lives
+//! in per-engine slots sized to the fan-out, chunk boundaries are a
+//! pure function of the worker count, and each line's arithmetic is
+//! chunk-independent, so threaded transforms are bit-for-bit equal to
+//! single-threaded ones for every pool and worker count; see the
 //! [threading model](FftEngine#threading-model) for ownership details.
 //!
 //! The staged API (`forward_padded` → pointwise multiply-accumulate in

@@ -170,3 +170,92 @@ proptest! {
         prop_assert!(p_back.max_abs_diff(&img) < 1e-4);
     }
 }
+
+/// Shared-pool determinism: engines fanning out over one persistent
+/// pool at 1/2/4 workers must agree bit-for-bit with the serial
+/// engine — the same contract the scoped-thread era pinned, re-run
+/// through the pool path (`FftEngine::with_pool`).
+#[test]
+fn shared_pool_transforms_are_deterministic_at_1_2_4_workers() {
+    let pool = std::sync::Arc::new(rayon::ThreadPool::with_workers(2));
+    let serial = FftEngine::with_threads(1);
+    for shape in [Vec3::cube(32), Vec3::new(16, 32, 64), Vec3::new(128, 130, 1)] {
+        let img = ops::random(shape, 0xB00);
+        let want_spec = serial.rfft3(&img);
+        let want_back = serial.irfft3(serial.rfft3(&img));
+        for workers in [1usize, 2, 4] {
+            let engine = FftEngine::with_pool(workers, std::sync::Arc::clone(&pool));
+            let spec = engine.rfft3(&img);
+            let drift = spec
+                .half()
+                .as_slice()
+                .iter()
+                .zip(want_spec.half().as_slice())
+                .map(|(a, b)| (a - b).norm())
+                .fold(0.0f32, f32::max);
+            assert!(drift == 0.0, "forward drift at {workers} workers on {shape}");
+            let back = engine.irfft3(spec);
+            assert!(
+                back.max_abs_diff(&want_back) == 0.0,
+                "inverse drift at {workers} workers on {shape}"
+            );
+        }
+    }
+}
+
+/// Pool reuse: two engines sharing one pool run interleaved transforms
+/// from concurrent threads without corrupting each other's scratch —
+/// every result must still be bit-for-bit the serial one.
+#[test]
+fn two_engines_on_one_pool_do_not_corrupt_each_others_scratch() {
+    let pool = std::sync::Arc::new(rayon::ThreadPool::with_workers(2));
+    let a = std::sync::Arc::new(FftEngine::with_pool(4, std::sync::Arc::clone(&pool)));
+    let b = std::sync::Arc::new(FftEngine::with_pool(3, std::sync::Arc::clone(&pool)));
+    let serial = FftEngine::with_threads(1);
+    // distinct shapes per engine so scratch sizes differ (a stale or
+    // shared buffer would corrupt the longer lines)
+    let shape_a = Vec3::cube(32);
+    let shape_b = Vec3::new(16, 40, 48);
+    let img_a = ops::random(shape_a, 0xA);
+    let img_b = ops::random(shape_b, 0xB);
+    let want_a = serial.rfft3(&img_a);
+    let want_b = serial.rfft3(&img_b);
+    let drift = |got: &znn_tensor::Spectrum, want: &znn_tensor::Spectrum| {
+        got.half()
+            .as_slice()
+            .iter()
+            .zip(want.half().as_slice())
+            .map(|(x, y)| (x - y).norm())
+            .fold(0.0f32, f32::max)
+    };
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let (engine, img, want) = if i % 2 == 0 {
+                (std::sync::Arc::clone(&a), img_a.clone(), want_a.clone())
+            } else {
+                (std::sync::Arc::clone(&b), img_b.clone(), want_b.clone())
+            };
+            std::thread::spawn(move || {
+                for _ in 0..8 {
+                    let got = engine.rfft3(&img);
+                    assert!(
+                        got.half()
+                            .as_slice()
+                            .iter()
+                            .zip(want.half().as_slice())
+                            .all(|(x, y)| x == y),
+                        "interleaved transform drifted"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // and sequentially interleaved use stays exact too
+    for _ in 0..4 {
+        assert!(drift(&a.rfft3(&img_a), &want_a) == 0.0);
+        assert!(drift(&b.rfft3(&img_b), &want_b) == 0.0);
+    }
+}

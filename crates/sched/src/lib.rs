@@ -12,9 +12,19 @@
 //!   LIFO policies from §X are provided for the scheduling ablation,
 //!   plus a plain binary heap for the data-structure ablation.
 //! * [`executor`] — the worker pool: each worker repeatedly picks the
-//!   highest-priority ready task and runs it (§VI-B).
+//!   highest-priority ready task and runs it (§VI-B). Workers can
+//!   *donate* idle time to a `rayon` fork-join pool
+//!   ([`Executor::with_donation`]): when the task queue is empty they
+//!   execute pending scope jobs — parallel FFT line chunks spawned by
+//!   a sibling's convolution task — instead of parking. Paired with a
+//!   [`rayon::ThreadPool::donor_only`] pool this gives the paper's
+//!   "predetermined number of workers" a single thread budget covering
+//!   both task- and data-parallelism: an FFT inside a task never
+//!   oversubscribes the machine, because its chunks only ever run on
+//!   the scheduler's own (idle) workers and on the task's own thread.
 //! * [`stealing`] — the work-stealing alternative scheduler mentioned in
-//!   §X, built on crossbeam deques.
+//!   §X, built on crossbeam deques; its workers donate the same way
+//!   ([`StealingExecutor::with_donation`]).
 //! * [`update`] — the FORCE state machine of Algorithms 1–3: forward
 //!   tasks *force* their edge's pending update task — executing it
 //!   inline (Queued), delegating themselves to its executor (Executing),

@@ -37,13 +37,19 @@ struct Pool {
     parked: Mutex<usize>,
     wake: Condvar,
     id: u64,
+    /// Fork-join pool idle workers donate to (scope jobs run when no
+    /// task is runnable anywhere).
+    donate: Option<Arc<rayon::ThreadPool>>,
 }
 
 /// A work-stealing executor with the same [`Scheduler`] interface as the
-/// priority [`crate::Executor`].
+/// priority [`crate::Executor`]. Like it, workers can donate idle time
+/// to a fork-join pool ([`StealingExecutor::with_donation`]).
 pub struct StealingExecutor {
     pool: Arc<Pool>,
     handles: Vec<JoinHandle<()>>,
+    /// Keeps the donor waker registered with the fork-join pool alive.
+    _waker: Option<Arc<dyn Fn() + Send + Sync>>,
 }
 
 static POOL_IDS: AtomicU64 = AtomicU64::new(0);
@@ -64,6 +70,18 @@ impl StealingExecutor {
 
     /// Starts `workers >= 1` stealing workers.
     pub fn new(workers: usize) -> Self {
+        Self::build(workers, None)
+    }
+
+    /// Starts `workers >= 1` stealing workers that donate idle time to
+    /// `pool`: whenever no task is runnable (own deque, injector and
+    /// siblings all empty), a worker executes pending fork-join jobs
+    /// from `pool` instead of parking.
+    pub fn with_donation(workers: usize, pool: Arc<rayon::ThreadPool>) -> Self {
+        Self::build(workers, Some(pool))
+    }
+
+    fn build(workers: usize, donate: Option<Arc<rayon::ThreadPool>>) -> Self {
         assert!(workers >= 1);
         let locals: Vec<Worker<Task>> = (0..workers).map(|_| Worker::new_lifo()).collect();
         let stealers = locals.iter().map(|w| w.stealer()).collect();
@@ -77,6 +95,15 @@ impl StealingExecutor {
             parked: Mutex::new(0),
             wake: Condvar::new(),
             id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
+            donate,
+        });
+        // notify_one per queued job (all parked stealers react to a
+        // wake identically); the 1ms timed park below is the backstop
+        // for the push-vs-park race, as for the pool's own submits
+        let waker = pool.donate.as_ref().map(|fj| {
+            crate::executor::register_donor_waker(fj, &pool, |p: &Pool| {
+                p.wake.notify_one();
+            })
         });
         let handles = (0..workers)
             .map(|i| {
@@ -87,7 +114,11 @@ impl StealingExecutor {
                     .expect("failed to spawn stealing worker")
             })
             .collect();
-        StealingExecutor { pool, handles }
+        StealingExecutor {
+            pool,
+            handles,
+            _waker: waker,
+        }
     }
 }
 
@@ -136,6 +167,12 @@ fn worker_loop(index: usize, pool: Arc<Pool>) {
             None => {
                 if pool.shutdown.load(Ordering::Acquire) {
                     break;
+                }
+                // no runnable task anywhere: donate to fork-join work
+                if let Some(fj) = &pool.donate {
+                    if fj.run_pending_job() {
+                        continue;
+                    }
                 }
                 let mut parked = pool.parked.lock();
                 *parked += 1;
@@ -209,6 +246,9 @@ mod tests {
         }
         latch.wait();
         assert_eq!(counter.load(Ordering::SeqCst), 200);
+        // the latch opens inside each task, before the worker bumps
+        // `executed` — quiesce before reading the counter
+        ex.wait_quiescent();
         assert_eq!(ex.stats().executed, 200);
     }
 
@@ -264,6 +304,10 @@ mod tests {
             l2.count_down();
         }));
         latch.wait();
+        // quiesce both pools: the latch opens inside the tasks,
+        // before the workers bump their `executed` counters
+        a.wait_quiescent();
+        b.wait_quiescent();
         assert!(a.stats().executed + b.stats().executed >= 2);
     }
 }

@@ -1,55 +1,677 @@
-//! Minimal offline stand-in for the `rayon` crate.
+//! Minimal offline stand-in for the `rayon` crate, built around a
+//! **persistent work-stealing fork-join pool**.
 //!
-//! Provides two subsets of the upstream API, both implemented with
-//! `std::thread::scope` fork-join:
+//! Provides the subsets of the upstream API the workspace uses:
 //!
-//! * the `par_iter().map(..).collect()` pipeline the layerwise baseline
-//!   uses, over contiguous chunks. Ordering is preserved: results are
-//!   concatenated in chunk order, so `collect::<Vec<_>>()` matches the
-//!   sequential result exactly;
+//! * [`ThreadPool`] / [`ThreadPoolBuilder`] — a pool of long-lived
+//!   workers fed by a shared injector plus one deque per worker
+//!   (`crossbeam::deque`). Workers pop their own deque LIFO, refill
+//!   from the injector and steal FIFO from siblings. Upstream-shaped
+//!   [`ThreadPool::install`] / [`ThreadPool::scope`] /
+//!   [`ThreadPool::spawn`] signatures keep the swap back to real rayon
+//!   a one-line change in the root manifest.
 //! * [`scope`]/[`Scope::spawn`], the structured fork-join primitive
 //!   `znn-fft` uses to split batched line transforms across workers.
 //!   Like upstream, `scope` returns only after every spawned task has
 //!   finished, and tasks may borrow from the enclosing stack frame.
+//!   Free-function calls run on the *current* pool — the innermost
+//!   [`ThreadPool::install`], or the lazily-started [global
+//!   pool](global_pool) — so **no OS thread is ever spawned per
+//!   `scope` call**.
+//! * the `par_iter().map(..).collect()` pipeline the layerwise
+//!   baseline uses, chunked over the same pool. Ordering is preserved:
+//!   results are concatenated in chunk order, so
+//!   `collect::<Vec<_>>()` matches the sequential result exactly.
 //!
-//! Unlike upstream there is no shared thread pool: each `scope` spawns
-//! its workers as short-lived OS threads. Callers amortize this by only
-//! splitting work that is large enough (see `znn-fft`'s parallelism
-//! threshold).
+//! # Joining without deadlock
+//!
+//! A thread that reaches the end of a `scope` does not park and hope:
+//! while its scope has unfinished tasks it **executes pending pool
+//! jobs itself** (its own deque first if it is a pool worker, then the
+//! injector, then siblings). Nested scopes therefore complete even on
+//! a pool with a single worker — or with none: a pool built by
+//! [`ThreadPool::donor_only`] owns no threads at all, and its jobs run
+//! on scope callers and *donor* threads (see below).
+//!
+//! # Donors
+//!
+//! External worker pools (the `znn-sched` executors) can *donate*
+//! otherwise-idle threads: [`ThreadPool::run_pending_job`] pops and
+//! runs one queued job, and [`ThreadPool::add_donor_waker`] registers
+//! a callback invoked whenever a job is queued so donors can wake
+//! promptly. This is how one thread budget serves both the task
+//! scheduler and intra-transform FFT parallelism: the engine's pool is
+//! donor-only, and the scheduler's workers run its jobs whenever their
+//! own queue is empty.
+//!
+//! # Spawn-per-call baseline
+//!
+//! [`scope_spawn_per_call`] preserves the previous shim behaviour —
+//! one short-lived OS thread per spawned task — purely so the
+//! `fft_traffic --spawn-compare` benchmark can quantify what pool
+//! reuse saves. Nothing on a hot path uses it.
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
 
 /// The traits the workspace imports via `rayon::prelude::*`.
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
 }
 
-/// A fork-join scope: tasks spawned on it may borrow anything that
-/// outlives the [`scope`] call, and all of them complete before `scope`
-/// returns.
-pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope std::thread::Scope<'scope, 'env>,
+/// A queued unit of work with its scope lifetime erased (sound because
+/// a scope never returns before its last job finishes).
+type Job = Box<dyn FnOnce() + Send>;
+
+thread_local! {
+    /// `(pool id, worker index)` when the current thread is a dedicated
+    /// pool worker.
+    static CURRENT_WORKER: RefCell<Option<(u64, usize)>> = const { RefCell::new(None) };
+    /// Stack of pools made current by [`ThreadPool::install`] (and by
+    /// worker threads for the pool they serve). Free-function `scope`,
+    /// `spawn` and `par_iter` route to the top entry.
+    static INSTALLED: RefCell<Vec<Arc<PoolState>>> = const { RefCell::new(Vec::new()) };
 }
 
-impl<'scope, 'env> Scope<'scope, 'env> {
-    /// Runs `body` on a worker thread of this scope. The closure
-    /// receives the scope again so it can spawn nested tasks, matching
-    /// upstream's signature (`s.spawn(|s| ...)`).
-    pub fn spawn<F>(&self, body: F)
-    where
-        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
-    {
-        let inner = self.inner;
-        inner.spawn(move || body(&Scope { inner }));
+static POOL_IDS: AtomicU64 = AtomicU64::new(0);
+
+struct PoolState {
+    id: u64,
+    injector: Injector<Job>,
+    /// Worker deques, mutex-wrapped like `znn-sched`'s stealing pool:
+    /// upstream crossbeam's `Worker` is `!Sync` (it is meant to be
+    /// owned by its thread), so sharing it through `&self` would break
+    /// the drop-in swap back to real crossbeam the vendor docs
+    /// promise. Owner pushes/pops only ever contend with that same
+    /// owner, so the lock is effectively free.
+    locals: Vec<Mutex<Worker<Job>>>,
+    stealers: Vec<Stealer<Job>>,
+    /// Dedicated worker threads (0 for donor-only pools).
+    width: usize,
+    /// Parallelism target for `par_iter` chunking: `width` for worker
+    /// pools, the host thread count for donor-only pools (whose
+    /// executors are donors plus the scope owner, not `width`).
+    fanout: usize,
+    /// Jobs queued and not yet claimed — a cheap emptiness probe for
+    /// donors and parked workers.
+    queued: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Guards every sleep/wake transition: `queued` is bumped and jobs
+    /// made visible while holding this lock, and sleepers (workers and
+    /// scope owners) re-check state under it before waiting — so
+    /// untimed condvar waits cannot miss a wakeup and idle threads
+    /// never poll.
+    sleep_lock: Mutex<()>,
+    sleep_cvar: Condvar,
+    /// Wakers of donor threads; pruned when their owners drop them.
+    wakers: Mutex<Vec<Weak<dyn Fn() + Send + Sync>>>,
+}
+
+impl PoolState {
+    /// Queues `job`: onto the current worker's own deque when called
+    /// from inside this pool (the work-first rule), else the injector.
+    fn push_job(&self, job: Job) {
+        let mut job = Some(job);
+        {
+            // publish the job and its count under the sleep lock so a
+            // thread that saw nothing and is about to wait cannot miss
+            // it (it re-checks `queued` under the same lock)
+            let _g = self.sleep_lock.lock();
+            self.queued.fetch_add(1, Ordering::SeqCst);
+            CURRENT_WORKER.with(|w| {
+                if let Some((pool, i)) = *w.borrow() {
+                    if pool == self.id {
+                        self.locals[i].lock().push(job.take().expect("job present"));
+                    }
+                }
+            });
+            if let Some(j) = job {
+                self.injector.push(j);
+            }
+            // notify_all, not notify_one: sleepers are heterogeneous
+            // (workers, pooled scope owners, spawn-per-call scope
+            // owners) and a single wakeup could land on a sleeper
+            // that cannot claim jobs, losing it. Waking the rest is
+            // nearly free — they re-check and re-park, and a condvar
+            // with no waiters makes this a no-op.
+            self.sleep_cvar.notify_all();
+        }
+        let mut wakers = self.wakers.lock();
+        wakers.retain(|w| match w.upgrade() {
+            Some(f) => {
+                f();
+                true
+            }
+            None => false,
+        });
+    }
+
+    /// Claims one queued job: own deque (LIFO), injector, then steal
+    /// FIFO from siblings.
+    fn find_job(&self) -> Option<Job> {
+        let local = CURRENT_WORKER.with(|w| match *w.borrow() {
+            Some((pool, i)) if pool == self.id => Some(i),
+            _ => None,
+        });
+        if let Some(i) = local {
+            if let Some(j) = self.locals[i].lock().pop() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(j);
+            }
+        }
+        loop {
+            let steal = self.injector.steal();
+            if steal.is_retry() {
+                continue;
+            }
+            if let Some(j) = steal.success() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(j);
+            }
+            break;
+        }
+        for (i, s) in self.stealers.iter().enumerate() {
+            if local == Some(i) {
+                continue;
+            }
+            loop {
+                let steal = s.steal();
+                if steal.is_retry() {
+                    continue;
+                }
+                if let Some(j) = steal.success() {
+                    self.queued.fetch_sub(1, Ordering::SeqCst);
+                    return Some(j);
+                }
+                break;
+            }
+        }
+        None
     }
 }
 
-/// Creates a fork-join scope, upstream-style: `f` may spawn tasks that
-/// borrow from the caller's stack; every task is joined before `scope`
-/// returns (a panicking task propagates its panic here).
-pub fn scope<'env, F, R>(f: F) -> R
+/// Pops the INSTALLED entry pushed for one job even if the job
+/// unwinds.
+struct InstallGuard;
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALLED.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Runs `job` with `state` as the current pool, so free-function
+/// `scope`/`spawn`/`par_iter` calls inside the job stay on this pool
+/// (donated scheduler threads and helping scope owners would otherwise
+/// fall through to the global pool — exactly the oversubscription the
+/// donor-only design exists to prevent).
+fn run_job(state: &Arc<PoolState>, job: Job) {
+    INSTALLED.with(|s| s.borrow_mut().push(Arc::clone(state)));
+    let _guard = InstallGuard;
+    job();
+}
+
+/// Boxes a fire-and-forget task. Unlike scope tasks (whose panics are
+/// stored and re-raised at the scope), a detached task has nowhere to
+/// propagate to — and letting it unwind would kill the executing
+/// thread: a pool worker silently, or worse, a waiting scope owner
+/// (unwinding through `Scope::complete` would free a `Scope` whose
+/// queued jobs still point at it) or a donated scheduler worker. So
+/// the panic is caught and reported here.
+fn detached_job<F>(f: F) -> Job
 where
-    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    F: FnOnce() + Send + 'static,
 {
-    std::thread::scope(|s| f(&Scope { inner: s }))
+    Box::new(move || {
+        if catch_unwind(AssertUnwindSafe(f)).is_err() {
+            eprintln!("rayon-shim: detached spawn task panicked; panic discarded");
+        }
+    })
+}
+
+fn worker_loop(state: Arc<PoolState>, index: usize) {
+    CURRENT_WORKER.with(|w| *w.borrow_mut() = Some((state.id, index)));
+    // free-function scopes opened inside jobs stay on this pool
+    INSTALLED.with(|s| s.borrow_mut().push(Arc::clone(&state)));
+    loop {
+        if let Some(job) = state.find_job() {
+            job();
+            continue;
+        }
+        if state.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let mut g = state.sleep_lock.lock();
+        // pushes and shutdown both flip their state and notify under
+        // `sleep_lock`, so this re-check-then-wait cannot lose a
+        // wakeup — the wait needs no timeout and idle workers cost
+        // nothing
+        if state.queued.load(Ordering::SeqCst) == 0 && !state.shutdown.load(Ordering::Acquire) {
+            state.sleep_cvar.wait(&mut g);
+        }
+    }
+    INSTALLED.with(|s| s.borrow_mut().pop());
+    CURRENT_WORKER.with(|w| *w.borrow_mut() = None);
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (the shim never
+/// actually fails to build).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Upstream-shaped builder for [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (`available_parallelism`
+    /// workers).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of dedicated worker threads.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool. Never fails in the shim; the `Result` mirrors
+    /// upstream so call sites translate one-to-one.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = self.num_threads.unwrap_or_else(host_threads).max(1);
+        Ok(ThreadPool::with_workers(width))
+    }
+}
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+/// A persistent fork-join worker pool. See the crate docs for the
+/// execution model.
+pub struct ThreadPool {
+    state: Arc<PoolState>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ThreadPool {
+    fn build_state(width: usize, fanout: usize) -> Arc<PoolState> {
+        let locals: Vec<Worker<Job>> = (0..width).map(|_| Worker::new_lifo()).collect();
+        let stealers = locals.iter().map(|w| w.stealer()).collect();
+        let locals = locals.into_iter().map(Mutex::new).collect();
+        Arc::new(PoolState {
+            id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
+            injector: Injector::new(),
+            locals,
+            stealers,
+            width,
+            fanout: fanout.max(1),
+            queued: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            sleep_cvar: Condvar::new(),
+            wakers: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// A pool with `width >= 1` dedicated worker threads.
+    pub fn with_workers(width: usize) -> Self {
+        let width = width.max(1);
+        let state = Self::build_state(width, width);
+        let handles = (0..state.width)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{i}"))
+                    .spawn(move || worker_loop(state, i))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            state,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// A pool that owns **no threads**: its jobs run on the threads
+    /// that wait on its scopes and on registered donors. This is how a
+    /// task scheduler shares its thread budget with fork-join work
+    /// instead of oversubscribing the machine (shim extension).
+    /// `par_iter` under [`ThreadPool::install`] still chunks (to the
+    /// host thread count) so donors can pick chunks up.
+    pub fn donor_only() -> Self {
+        ThreadPool {
+            state: Self::build_state(0, host_threads()),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The pool's parallelism target: its dedicated worker count, or
+    /// for donor-only pools the host thread count (their executors are
+    /// donors plus the scope owner).
+    pub fn current_num_threads(&self) -> usize {
+        self.state.fanout
+    }
+
+    /// Creates a fork-join scope on this pool: `op` may spawn tasks
+    /// that borrow from the caller's stack; every task is joined
+    /// before `scope` returns (a panicking task propagates here). The
+    /// calling thread executes pending jobs while it waits, so nested
+    /// scopes cannot deadlock regardless of the pool width.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+    {
+        run_scope(Arc::clone(&self.state), ScopeMode::Pooled, op)
+    }
+
+    /// Runs `op` with this pool as the *current* pool: free-function
+    /// [`scope`], [`spawn`] and `par_iter` calls inside `op` route
+    /// here instead of the global pool.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        INSTALLED.with(|s| s.borrow_mut().push(Arc::clone(&self.state)));
+        let result = catch_unwind(AssertUnwindSafe(op));
+        INSTALLED.with(|s| {
+            s.borrow_mut().pop();
+        });
+        match result {
+            Ok(r) => r,
+            Err(p) => resume_unwind(p),
+        }
+    }
+
+    /// Queues a fire-and-forget task on this pool. A panic in `f` is
+    /// caught and reported to stderr — it has no scope to propagate to
+    /// and must not kill whichever thread happens to execute it.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.state.push_job(detached_job(f));
+    }
+
+    /// Pops and runs one queued job on the calling thread, with this
+    /// pool installed as current for the job's duration. Returns
+    /// `false` when nothing was queued. This is the *donation* entry
+    /// point for external worker pools (shim extension).
+    pub fn run_pending_job(&self) -> bool {
+        match self.state.find_job() {
+            Some(job) => {
+                run_job(&self.state, job);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True when jobs are queued and unclaimed (cheap probe for
+    /// donors; shim extension).
+    pub fn has_pending_jobs(&self) -> bool {
+        self.state.queued.load(Ordering::SeqCst) > 0
+    }
+
+    /// Registers a donor waker, held weakly: it is invoked on every
+    /// job push until the caller drops its `Arc` (shim extension).
+    pub fn add_donor_waker(&self, waker: &Arc<dyn Fn() + Send + Sync>) {
+        self.state
+            .wakers
+            .lock()
+            .push(Arc::downgrade(waker));
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        {
+            // notify under the sleep lock so a worker between its
+            // shutdown re-check and its wait cannot sleep through this
+            let _g = self.state.sleep_lock.lock();
+            self.state.sleep_cvar.notify_all();
+        }
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The process-wide default pool (`available_parallelism` workers),
+/// started on first use. Free-function [`scope`]/[`spawn`]/`par_iter`
+/// run here unless a pool was made current with
+/// [`ThreadPool::install`].
+pub fn global_pool() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| ThreadPool::with_workers(host_threads()))
+}
+
+/// The state free functions should target: innermost installed pool,
+/// else the global pool.
+fn current_state() -> Arc<PoolState> {
+    INSTALLED.with(|s| {
+        s.borrow()
+            .last()
+            .cloned()
+            .unwrap_or_else(|| Arc::clone(&global_pool().state))
+    })
+}
+
+/// Worker width of the current pool (the global pool if none is
+/// installed), like upstream's `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    current_state().fanout
+}
+
+/// How a scope dispatches its spawned tasks.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ScopeMode {
+    /// Queue on the persistent pool; the scope owner helps execute.
+    Pooled,
+    /// One short-lived OS thread per task — the pre-pool behaviour,
+    /// kept only for the spawn-overhead benchmark.
+    SpawnPerCall,
+}
+
+/// A fork-join scope: tasks spawned on it may borrow anything that
+/// outlives the [`scope`] call, and all of them complete before
+/// `scope` returns.
+pub struct Scope<'scope> {
+    state: Arc<PoolState>,
+    mode: ScopeMode,
+    /// Spawned-but-unfinished task count; the owner blocks until 0.
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// Invariant over `'scope`, as upstream.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+/// A `*const Scope` that may cross threads. Sound because the scope
+/// outlives every job (the owner joins before returning) and all of
+/// `Scope`'s interior mutability is thread-safe.
+struct ScopePtr(*const ());
+unsafe impl Send for ScopePtr {}
+
+impl ScopePtr {
+    /// The wrapped pointer. A method (rather than field access) so
+    /// closures capture the `Send` wrapper, not the bare pointer —
+    /// edition-2021 closures capture individual fields otherwise.
+    fn get(&self) -> *const () {
+        self.0
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Runs `body` on a pool worker (or the waiting scope owner, or a
+    /// donor thread). The closure receives the scope again so it can
+    /// spawn nested tasks, matching upstream's signature
+    /// (`s.spawn(|s| ...)`).
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let ptr = ScopePtr(self as *const Scope<'scope> as *const ());
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            // SAFETY: the scope owner does not return before `pending`
+            // reaches zero, so the Scope and everything `'scope`-
+            // borrowed are alive for the whole call.
+            let scope: &Scope<'scope> = unsafe { &*(ptr.get() as *const Scope<'scope>) };
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| body(scope))) {
+                let mut slot = scope.panic.lock();
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
+            }
+            scope.finish_one();
+        });
+        // SAFETY: erasing `'scope` is sound for the same reason — the
+        // join barrier below bounds the job's real lifetime.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job)
+        };
+        match self.mode {
+            ScopeMode::Pooled => self.state.push_job(job),
+            ScopeMode::SpawnPerCall => {
+                // the job is 'static after the transmute; the barrier
+                // in `complete` joins it before the borrows expire.
+                // The job sits in a shared slot so that a failed
+                // thread spawn (OS thread exhaustion) can fall back to
+                // running it inline — dropping it would leave the
+                // scope's pending count stuck and hang the barrier.
+                let slot = Arc::new(Mutex::new(Some(job)));
+                let spawned = Arc::clone(&slot);
+                let res = std::thread::Builder::new().spawn(move || {
+                    if let Some(j) = spawned.lock().take() {
+                        j();
+                    }
+                });
+                if res.is_err() {
+                    if let Some(j) = slot.lock().take() {
+                        j();
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_one(&self) {
+        // clone the pool handle BEFORE the decrement: the moment
+        // `pending` hits 0 the owner may observe it, return from
+        // `scope`, and free this Scope — after the fetch_sub, `self`
+        // must not be touched again
+        let state = Arc::clone(&self.state);
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // wake the owner (and anything else parked on the pool):
+            // the lock pairs with the owner's check-then-wait, so the
+            // terminal notification cannot be lost
+            let _g = state.sleep_lock.lock();
+            state.sleep_cvar.notify_all();
+        }
+    }
+
+    /// The join barrier: executes pending pool jobs until every task
+    /// spawned on this scope has finished. The owner parks on the
+    /// pool's sleep condvar, which is notified both on job pushes
+    /// (nested spawns it could help with) and on scope completion —
+    /// no timed polling.
+    fn complete(&self) {
+        loop {
+            if self.pending.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            if self.mode == ScopeMode::Pooled {
+                if let Some(job) = self.state.find_job() {
+                    run_job(&self.state, job);
+                    continue;
+                }
+            }
+            let mut g = self.state.sleep_lock.lock();
+            if self.pending.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            if self.mode == ScopeMode::Pooled && self.state.queued.load(Ordering::SeqCst) > 0 {
+                continue; // helpable work appeared between find and lock
+            }
+            self.state.sleep_cvar.wait(&mut g);
+        }
+    }
+}
+
+fn run_scope<'scope, OP, R>(state: Arc<PoolState>, mode: ScopeMode, op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let scope = Scope {
+        state,
+        mode,
+        pending: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        _marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    // join before unwinding: spawned tasks may still borrow the frame
+    scope.complete();
+    match result {
+        Ok(r) => {
+            if let Some(p) = scope.panic.lock().take() {
+                resume_unwind(p);
+            }
+            r
+        }
+        Err(p) => resume_unwind(p),
+    }
+}
+
+/// Creates a fork-join scope on the current pool (see [`global_pool`]),
+/// upstream-style: `op` may spawn tasks that borrow from the caller's
+/// stack; every task is joined before `scope` returns (a panicking
+/// task propagates its panic here).
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    run_scope(current_state(), ScopeMode::Pooled, op)
+}
+
+/// Queues a fire-and-forget task on the current pool.
+pub fn spawn<F>(f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    current_state().push_job(detached_job(f));
+}
+
+/// The pre-pool scope: spawns one short-lived OS thread per task.
+/// Kept **only** as the baseline for `fft_traffic --spawn-compare`;
+/// nothing else should call it (shim extension).
+pub fn scope_spawn_per_call<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    run_scope(current_state(), ScopeMode::SpawnPerCall, op)
 }
 
 /// Types that can produce a parallel iterator over `&Self` items.
@@ -100,8 +722,8 @@ pub struct ParMap<'a, T, F> {
 }
 
 impl<'a, T: Sync, F> ParMap<'a, T, F> {
-    /// Evaluates the map over worker threads and collects the results
-    /// in input order.
+    /// Evaluates the map over the current pool's workers and collects
+    /// the results in input order.
     pub fn collect<B, R>(self) -> B
     where
         F: Fn(&'a T) -> R + Sync,
@@ -109,26 +731,18 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
         B: FromIterator<R>,
     {
         let n = self.slice.len();
-        let threads = std::thread::available_parallelism()
-            .map(|v| v.get())
-            .unwrap_or(1)
-            .min(n.max(1));
+        let threads = current_num_threads().min(n.max(1));
         if threads <= 1 || n <= 1 {
             return self.slice.iter().map(&self.f).collect();
         }
         let chunk = n.div_ceil(threads);
         let f = &self.f;
-        let mut per_chunk: Vec<Vec<R>> = Vec::with_capacity(threads);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = self
-                .slice
-                .chunks(chunk)
-                .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
-                .collect();
-            per_chunk = handles
-                .into_iter()
-                .map(|h| h.join().expect("rayon-shim worker panicked"))
-                .collect();
+        let chunks: Vec<&[T]> = self.slice.chunks(chunk).collect();
+        let mut per_chunk: Vec<Vec<R>> = chunks.iter().map(|c| Vec::with_capacity(c.len())).collect();
+        scope(|s| {
+            for (c, out) in chunks.iter().zip(per_chunk.iter_mut()) {
+                s.spawn(move |_| out.extend(c.iter().map(f)));
+            }
         });
         per_chunk.into_iter().flatten().collect()
     }
@@ -137,6 +751,7 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn scope_joins_all_spawned_tasks() {
@@ -178,5 +793,132 @@ mod tests {
         let one = vec![7u8];
         let out: Vec<u8> = one.par_iter().map(|&x| x + 1).collect();
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn single_worker_pool_completes_nested_scopes() {
+        // the no-deadlock property: the scope owner executes pending
+        // jobs itself, so fan-out deeper than the worker count finishes
+        let pool = ThreadPool::with_workers(1);
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|s| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                    s.spawn(|s| {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                        s.spawn(|_| {
+                            hits.fetch_add(1, Ordering::SeqCst);
+                        });
+                    });
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 12);
+    }
+
+    #[test]
+    fn donor_only_pool_runs_on_the_scope_owner() {
+        let pool = ThreadPool::donor_only();
+        // no dedicated threads, but a real par_iter fan-out target
+        assert!(pool.current_num_threads() >= 1);
+        let mut parts = vec![0usize; 16];
+        pool.scope(|s| {
+            for (i, p) in parts.iter_mut().enumerate() {
+                s.spawn(move |_| *p = i + 1);
+            }
+        });
+        assert_eq!(parts, (1..=16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn donors_execute_queued_jobs() {
+        let pool = Arc::new(ThreadPool::donor_only());
+        let woken = Arc::new(AtomicUsize::new(0));
+        let waker: Arc<dyn Fn() + Send + Sync> = {
+            let woken = Arc::clone(&woken);
+            Arc::new(move || {
+                woken.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        pool.add_donor_waker(&waker);
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let ran = Arc::clone(&ran);
+            pool.spawn(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert!(pool.has_pending_jobs());
+        assert!(woken.load(Ordering::SeqCst) >= 1);
+        assert!(pool.run_pending_job());
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert!(!pool.run_pending_job());
+        // dropping the waker arc unregisters it
+        drop(waker);
+        pool.spawn(|| {});
+        assert!(pool.run_pending_job());
+        assert_eq!(woken.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn install_routes_free_scopes_to_the_pool() {
+        let pool = ThreadPool::donor_only();
+        let pool_id = pool.state.id;
+        let seen = pool.install(super::current_state).id;
+        assert_eq!(seen, pool_id);
+        // a free scope inside install targets the installed pool: its
+        // jobs run on the owner thread (the donor pool has no workers)
+        let owner = std::thread::current().id();
+        pool.install(|| {
+            super::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(move |_| assert_eq!(std::thread::current().id(), owner));
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn scope_propagates_task_panics() {
+        let result = std::panic::catch_unwind(|| {
+            super::scope(|s| {
+                s.spawn(|_| panic!("task panic"));
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn spawn_per_call_scope_matches_pooled_results() {
+        let mut a = vec![0u32; 32];
+        let mut b = vec![0u32; 32];
+        super::scope(|s| {
+            for (i, p) in a.iter_mut().enumerate() {
+                s.spawn(move |_| *p = i as u32 * 3);
+            }
+        });
+        super::scope_spawn_per_call(|s| {
+            for (i, p) in b.iter_mut().enumerate() {
+                s.spawn(move |_| *p = i as u32 * 3);
+            }
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pool_drop_joins_workers() {
+        let pool = ThreadPool::with_workers(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        pool.scope(|s| {
+            for _ in 0..8 {
+                let done = Arc::clone(&done);
+                s.spawn(move |_| {
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+        drop(pool); // must not hang
     }
 }
