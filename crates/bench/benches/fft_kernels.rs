@@ -1,8 +1,10 @@
-//! 1D kernel shoot-out: iterative Stockham radix-4/2 vs the recursive
-//! mixed-radix path it replaced.
+//! 1D kernel shoot-out: iterative mixed-radix Stockham vs the
+//! recursive mixed-radix path it replaced.
 //!
-//! The acceptance gate for the kernel rewrite: at power-of-two lengths
-//! ≥ 64 the iterative kernels must beat the recursive ones. Lengths are
+//! The acceptance gate for the kernel rewrites: at power-of-two lengths
+//! ≥ 64 *and* at 5-smooth non-power-of-two lengths (24, 48, 60, 120,
+//! 240 — the sizes `good_shape` actually emits between the powers of
+//! two) the iterative kernels must beat the recursive ones. Lengths are
 //! benched as *batched line transforms* (one `process_with_scratch`
 //! call over many contiguous lines, ~64k complex elements per call) —
 //! exactly how the 3D engine drives them.
@@ -41,8 +43,9 @@ fn bench_plan(c: &mut Criterion, group: &str, name: String, plan: Arc<dyn Fft<f3
     g.finish();
 }
 
-/// Power-of-two lengths 16–512: iterative Stockham vs recursive
-/// mixed-radix on identical batched inputs.
+/// Iterative Stockham vs recursive mixed-radix on identical batched
+/// inputs: power-of-two lengths 16–512 (the radix-4/2 stages) and
+/// 5-smooth non-power-of-two lengths 24–240 (the radix-3/5 stages).
 fn bench_kernels(c: &mut Criterion) {
     let mut planner = FftPlanner::new();
     for n in [16usize, 32, 64, 128, 256, 512] {
@@ -62,15 +65,23 @@ fn bench_kernels(c: &mut Criterion) {
             &batch,
         );
     }
-    // the fallback boundary: non-power-of-two 5-smooth lengths take the
-    // recursive path in both cases (sanity that the boundary is cheap)
-    for n in [48usize, 120, 360] {
+    // the 5-smooth sweep: these lengths left the recursive fallback
+    // when the radix-3/5 stages landed — the same comparison tracks
+    // the win
+    for n in [24usize, 48, 60, 120, 240] {
         let batch = batch_for(n);
         bench_plan(
             c,
-            "fft_kernels_fallback",
-            format!("mixed_radix_n{n}"),
+            "fft_kernels_smooth",
+            format!("iterative_n{n}"),
             planner.plan_fft(n, FftDirection::Forward),
+            &batch,
+        );
+        bench_plan(
+            c,
+            "fft_kernels_smooth",
+            format!("recursive_n{n}"),
+            planner.plan_fft_recursive(n, FftDirection::Forward),
             &batch,
         );
     }

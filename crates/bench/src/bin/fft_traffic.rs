@@ -15,6 +15,20 @@
 //! tracked across PRs. `--smoke` runs one small size (CI keeps the
 //! bench bins from rotting without paying for the full sweep).
 //!
+//! Two 5-smooth sections ride along (both always recorded, so CI can
+//! assert their JSON fields):
+//!
+//! * `"smooth_kernels"` — 3D r2c forward transforms at 5-smooth
+//!   non-power-of-two sizes (24³–120³) on the standard engine (whose
+//!   line plans are iterative mixed-radix Stockham kernels) vs
+//!   `FftEngine::with_recursive_kernels()` (the recursive fallback
+//!   they replaced). Before the radix-3/5 stages, 48³ was the slowest
+//!   point of the whole sweep; this section keeps that win pinned.
+//! * `"padding"` — padded-voxel counts of the 5-smooth `good_shape`
+//!   policy vs the 2^k-only `pow2_shape` baseline for a sweep of raw
+//!   extents, quoting the savings that justify preferring 5-smooth
+//!   candidates.
+//!
 //! `--spawn-compare` adds the pool-reuse vs spawn-per-call sweep: the
 //! same 2-way-split r2c transform timed on the persistent worker pool
 //! and on the old spawn-an-OS-thread-per-chunk scope, at 8³–64³ (the
@@ -25,7 +39,7 @@
 
 use std::fmt::Write as _;
 use znn_bench::{fmt, header, row, time_per_round};
-use znn_fft::FftEngine;
+use znn_fft::{good_shape, pow2_shape, FftEngine};
 use znn_tensor::{ops, Spectrum, Vec3};
 
 struct ThreadPoint {
@@ -40,10 +54,30 @@ struct SpawnPoint {
     spawn_s: f64,
 }
 
+/// The shared `(warmup, reps)` budget per cube size — one protocol for
+/// every section of `BENCH_fft.json`, so committed numbers from
+/// different sections of the same run are comparable. Mid-range sizes
+/// get 5 reps rather than 3: their numbers are the ones the acceptance
+/// criteria and ROADMAP quote, and at 3 reps run-to-run variance was
+/// large enough (>2x observed at 60³) to mask real changes.
+fn reps_for(n: usize) -> (usize, usize) {
+    if n >= 100 {
+        (1, 3)
+    } else if n >= 48 {
+        (1, 5)
+    } else {
+        (2, 8)
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let spawn_compare = std::env::args().any(|a| a == "--spawn-compare");
-    let sizes: &[usize] = if smoke { &[16] } else { &[16, 24, 32, 48, 64] };
+    let sizes: &[usize] = if smoke {
+        &[16]
+    } else {
+        &[16, 24, 32, 48, 60, 64, 120]
+    };
     let host = std::thread::available_parallelism()
         .map(|v| v.get())
         .unwrap_or(1);
@@ -72,7 +106,7 @@ fn main() {
         let spec = engine.rfft3(&img);
         let r2c_bytes = spec.stored_bytes();
         let c2c_bytes = spec.full_bytes();
-        let (warm, reps) = if n >= 48 { (1, 3) } else { (2, 8) };
+        let (warm, reps) = reps_for(n);
         let t_r2c = time_per_round(warm, reps, || {
             std::hint::black_box(engine.rfft3(&img));
         });
@@ -151,6 +185,77 @@ fn main() {
     json.push_str(&records.join(",\n"));
     json.push_str("\n  ]");
 
+    // 5-smooth kernel comparison: the iterative mixed-radix Stockham
+    // path vs the recursive fallback it replaced, at the 3D r2c level.
+    // These sizes (2^a·3^b·5^c, not powers of two) were all fallback
+    // before the radix-3/5 stages; 48³ was the slowest point in the
+    // sweep.
+    let smooth_sizes: &[usize] = if smoke { &[12] } else { &[24, 48, 60, 120] };
+    let iter_engine = FftEngine::with_threads(1);
+    let rec_engine = FftEngine::with_recursive_kernels();
+    println!("\n# 5-smooth kernels — iterative Stockham vs recursive fallback (1 thread)\n");
+    header(&["shape", "iterative s", "recursive s", "iterative speedup"]);
+    json.push_str(",\n  \"smooth_kernels\": [\n");
+    let mut recs = Vec::new();
+    for &n in smooth_sizes {
+        let img = ops::random(Vec3::cube(n), 3);
+        let (warm, reps) = reps_for(n);
+        let iter_s = time_per_round(warm, reps, || {
+            std::hint::black_box(iter_engine.rfft3(&img));
+        });
+        let rec_s = time_per_round(warm, reps, || {
+            std::hint::black_box(rec_engine.rfft3(&img));
+        });
+        row(&[
+            format!("{n}³"),
+            fmt(iter_s),
+            fmt(rec_s),
+            format!("{:.2}x", rec_s / iter_s),
+        ]);
+        recs.push(format!(
+            "    {{\"n\": {n}, \"iter_fwd_s\": {iter_s:.6e}, \"recursive_fwd_s\": {rec_s:.6e}, \
+             \"iter_speedup\": {:.2}}}",
+            rec_s / iter_s
+        ));
+    }
+    json.push_str(&recs.join(",\n"));
+    json.push_str("\n  ]");
+
+    // Padding policy: 5-smooth good_shape vs the 2^k-only baseline —
+    // padded voxels are transformed, multiplied, and (memoized) held
+    // in RAM for a whole round, so the savings compound.
+    let raw_sizes: &[usize] = if smoke {
+        &[33, 65]
+    } else {
+        &[17, 33, 47, 65, 100, 129, 200]
+    };
+    println!("\n# padding — 5-smooth good_shape vs 2^k-only baseline\n");
+    header(&["raw", "good_shape", "voxels", "pow2 shape", "voxels", "saved"]);
+    json.push_str(",\n  \"padding\": [\n");
+    let mut recs = Vec::new();
+    for &n in raw_sizes {
+        let raw = Vec3::cube(n);
+        let smooth = good_shape(raw);
+        let pow2 = pow2_shape(raw);
+        let sv = smooth.len();
+        let pv = pow2.len();
+        row(&[
+            format!("{n}³"),
+            smooth.to_string(),
+            sv.to_string(),
+            pow2.to_string(),
+            pv.to_string(),
+            format!("{:.2}x", pv as f64 / sv as f64),
+        ]);
+        recs.push(format!(
+            "    {{\"n\": {n}, \"smooth_voxels\": {sv}, \"pow2_voxels\": {pv}, \
+             \"savings\": {:.2}}}",
+            pv as f64 / sv as f64
+        ));
+    }
+    json.push_str(&recs.join(",\n"));
+    json.push_str("\n  ]");
+
     if spawn_compare {
         // Pool-reuse vs spawn-per-call: identical 2-way-split r2c
         // transforms, chunks queued on the persistent pool vs one
@@ -166,7 +271,7 @@ fn main() {
         let mut points = Vec::new();
         for &n in cmp_sizes {
             let img = ops::random(Vec3::cube(n), 7);
-            let (warm, reps) = if n >= 48 { (1, 3) } else { (2, 8) };
+            let (warm, reps) = reps_for(n);
             let pool_s = time_per_round(warm, reps, || {
                 std::hint::black_box(pooled.rfft3(&img));
             });

@@ -13,7 +13,26 @@ use znn_ops::filter::{max_filter, max_filter_backward, FilterImpl};
 use znn_ops::pool::{max_pool, max_pool_backward};
 use znn_ops::{conv, convolver, ConvMethod};
 use znn_sched::{Executor, Latch, Scheduler, StealingExecutor, UPDATE_PRIORITY};
-use znn_tensor::{ops, Image, Tensor3, Vec3};
+use znn_tensor::{ops, Image, Spectrum, Tensor3, Vec3};
+
+/// The memoized-transform shape for a node of shape `n`: `good_shape`,
+/// checked against the fast-path invariant.
+///
+/// Every spectrum the engine memoizes for a training round is planned
+/// at this shape, so an odd packed axis here would silently double
+/// spectrum memory and forfeit the half-length packed stage on every
+/// transform of the round ([`Spectrum::packed_axis_is_even`]). The
+/// assert turns that quiet regression into an immediate, attributable
+/// panic at engine construction.
+fn transform_shape(n: Vec3) -> Vec3 {
+    let m = good_shape(n);
+    assert!(
+        Spectrum::packed_axis_is_even(m),
+        "good_shape({n}) = {m} has an odd packed-axis extent; the r2c fast path \
+         and tight half-spectrum require it to be even (or unit)"
+    );
+    m
+}
 
 /// Statistics of one training round.
 #[derive(Clone, Copy, Debug, Default)]
@@ -149,7 +168,7 @@ impl Znn {
                     update: znn_sched::UpdateHandle::new(),
                     k: kernel,
                     sparsity,
-                    m: good_shape(node_shape[e.from.0]),
+                    m: transform_shape(node_shape[e.from.0]),
                 }),
                 EdgeOp::Transfer { function } => EdgeState::Transfer(TransferEdge {
                     bias: Mutex::new(bias_init(cfg.seed, EdgeId(i))),
@@ -220,7 +239,7 @@ impl Znn {
                 });
             if eligible_bwd {
                 nodes[i].bwd_freq = Some(FreqPlan {
-                    m: good_shape(node_shape[i]),
+                    m: transform_shape(node_shape[i]),
                     crop_at: Vec3::zero(),
                     out_shape: node_shape[i],
                 });

@@ -142,7 +142,7 @@ type TwiddleMap = HashMap<(usize, Dir), Arc<Vec<Complex32>>>;
 ///
 /// The split is at line granularity, chunk boundaries are a pure
 /// function of the worker count, scratch is slotted per concurrent
-/// worker ([`ScratchPool`]) and fully overwritten before use, and each
+/// worker (`ScratchPool`) and fully overwritten before use, and each
 /// line's arithmetic is identical regardless of which thread runs it —
 /// so transforms are **bit-for-bit deterministic** and equal to the
 /// single-threaded result for every worker count and pool. Batches
@@ -155,6 +155,24 @@ type TwiddleMap = HashMap<(usize, Dir), Arc<Vec<Complex32>>>;
 /// plus a shared pool with [`FftEngine::with_pool`] when composing
 /// with an outer task-parallel scheduler so both draw on one thread
 /// budget.
+///
+/// # Example
+///
+/// ```
+/// use znn_fft::FftEngine;
+/// use znn_tensor::{ops, Vec3};
+///
+/// let engine = FftEngine::with_threads(1);
+/// // 48 = 2^4·3 is 5-smooth: every line transform takes the
+/// // iterative Stockham path
+/// let img = ops::random(Vec3::cube(48), 7);
+/// let spec = engine.rfft3(&img);
+/// // the half-spectrum stores 25 of 48 packed-axis bins per line
+/// assert_eq!(spec.half().shape(), Vec3::new(48, 48, 25));
+/// // the inverse consumes its spectrum in place and round-trips
+/// let back = engine.irfft3(spec);
+/// assert!(back.max_abs_diff(&img) < 1e-5);
+/// ```
 pub struct FftEngine {
     planner: Mutex<FftPlanner<f32>>,
     plans: Mutex<PlanMap>,
@@ -169,6 +187,12 @@ pub struct FftEngine {
     /// When true, scopes spawn one OS thread per chunk instead of
     /// using the pool — the `--spawn-compare` benchmark baseline.
     spawn_per_call: bool,
+    /// When true, every 1D line plan comes from
+    /// `FftPlanner::plan_fft_recursive` instead of the iterative
+    /// Stockham kernels — the `fft_traffic` benchmark baseline that
+    /// keeps the recursive-vs-iterative gap measurable at the 3D
+    /// transform level.
+    recursive_kernels: bool,
     /// Minimum complex elements in a batch before it is split.
     par_min_elems: usize,
     /// Slotted per-worker scratch (see [`ScratchPool`]).
@@ -198,6 +222,7 @@ impl FftEngine {
             threads,
             pool: None,
             spawn_per_call: false,
+            recursive_kernels: false,
             par_min_elems: PAR_MIN_ELEMS,
             scratch: ScratchPool::new(threads),
         }
@@ -221,6 +246,18 @@ impl FftEngine {
     pub fn with_spawn_per_call(threads: usize) -> Self {
         let mut engine = Self::with_threads(threads);
         engine.spawn_per_call = true;
+        engine
+    }
+
+    /// A new single-threaded engine whose 1D line plans all come from
+    /// the *recursive mixed-radix* fallback, bypassing the iterative
+    /// Stockham kernels. **Benchmark baseline only** (`fft_traffic`):
+    /// it reproduces the pre-mixed-radix behaviour for 5-smooth
+    /// non-power-of-two lengths (48, 60, 120…) so the kernel win stays
+    /// measurable at the 3D r2c transform level, not just per 1D line.
+    pub fn with_recursive_kernels() -> Self {
+        let mut engine = Self::with_threads(1);
+        engine.recursive_kernels = true;
         engine
     }
 
@@ -271,9 +308,14 @@ impl FftEngine {
             Entry::Occupied(e) => Arc::clone(e.get()),
             Entry::Vacant(e) => {
                 let mut planner = self.planner.lock();
-                let plan = match dir {
-                    Dir::Fwd => planner.plan_fft_forward(len),
-                    Dir::Inv => planner.plan_fft_inverse(len),
+                let fdir = match dir {
+                    Dir::Fwd => rustfft::FftDirection::Forward,
+                    Dir::Inv => rustfft::FftDirection::Inverse,
+                };
+                let plan = if self.recursive_kernels {
+                    planner.plan_fft_recursive(len, fdir)
+                } else {
+                    planner.plan_fft(len, fdir)
                 };
                 Arc::clone(e.insert(plan))
             }
@@ -1009,6 +1051,27 @@ mod tests {
             serial.fft3(&mut s_c);
             parallel.fft3(&mut p_c);
             assert!(max_cdiff(&s_c, &p_c) == 0.0, "c2c drift on {shape}");
+        }
+    }
+
+    #[test]
+    fn recursive_kernel_engine_matches_the_iterative_one() {
+        // the fft_traffic baseline: forcing every line plan onto the
+        // recursive fallback must change speed, never values beyond
+        // rounding — on 5-smooth non-2^k shapes where the two engines
+        // genuinely plan different kernels
+        let iter = FftEngine::with_threads(1);
+        let rec = FftEngine::with_recursive_kernels();
+        for shape in [Vec3::cube(12), Vec3::new(24, 30, 20), Vec3::cube(15)] {
+            let img = ops::random(shape, 67);
+            let a = iter.rfft3(&img);
+            let b = rec.rfft3(&img);
+            assert!(
+                max_cdiff(a.half(), b.half()) < 1e-3,
+                "kernel families disagree on {shape}"
+            );
+            let back = rec.irfft3(b);
+            assert!(back.max_abs_diff(&img) < 1e-5, "recursive round trip {shape}");
         }
     }
 

@@ -45,14 +45,17 @@
 //! # Kernels and threading
 //!
 //! The 1D line transforms come from the vendored `rustfft` shim, which
-//! routes power-of-two lengths through **iterative Stockham autosort
-//! kernels** (hardcoded radix-4 butterflies plus one trailing radix-2
-//! stage for odd `log2 n`, per-stage twiddle tables, no bit-reversal)
-//! and every other length through the recursive mixed-radix fallback —
-//! `good_shape`'s 5-smooth sizes keep the fallback's naive-DFT base
-//! case cold. The fallback boundary is per *line length*: a 48³
-//! transform (48 = 2⁴·3) is all fallback, a 64³ transform is all
-//! Stockham.
+//! routes **every 5-smooth length** (`2^a·3^b·5^c` — everything
+//! [`good_shape`] produces) through **iterative mixed-radix Stockham
+//! autosort kernels**: a stage planner factors the length into
+//! hardcoded radix-4/3/5 butterflies plus one trailing radix-2 stage
+//! for odd `log2` 2-parts, with per-stage twiddle tables and no
+//! bit/digit-reversal pass. Only lengths with prime factors larger
+//! than 5 — which `good_shape` never emits — take the recursive
+//! mixed-radix fallback, whose naive-DFT base case stays cold. A 48³
+//! transform (48 = 2⁴·3) and a 64³ transform are therefore both all
+//! Stockham; [`FftEngine::with_recursive_kernels`] pins the old
+//! fallback behaviour as the benchmark baseline.
 //!
 //! On top of the kernels, [`FftEngine`] splits every batched line loop
 //! — the contiguous packed stage, the strided `x`/`y` stages, and the
@@ -93,4 +96,4 @@ pub mod spectra;
 
 pub use conv::{fft_conv_full, fft_conv_valid, fft_xcorr_valid};
 pub use engine::FftEngine;
-pub use size::{good_shape, good_size, good_size_even};
+pub use size::{good_shape, good_size, good_size_even, pow2_shape, pow2_size};

@@ -1,12 +1,14 @@
 //! Differential pins for the FFT kernels underneath the engine.
 //!
-//! The vendored `rustfft` shim routes power-of-two lengths through the
-//! iterative Stockham radix-4/2 kernels and everything else through the
+//! The vendored `rustfft` shim routes every 5-smooth length through
+//! the iterative mixed-radix Stockham kernels (radix-4/3/5 stages plus
+//! a trailing radix-2) and lengths with prime factors > 5 through the
 //! recursive mixed-radix fallback. These tests pin both against the
 //! O(n²) naive DFT across the lengths the engine actually plans
 //! (5-smooth, with primes exercising the fallback's naive base case),
-//! and pin the multi-threaded engine against the single-threaded one
-//! bit-for-bit.
+//! pin the two kernel families against each other on the lengths both
+//! can plan, and pin the multi-threaded engine against the
+//! single-threaded one bit-for-bit.
 
 use proptest::prelude::*;
 use rustfft::num_complex::Complex;
@@ -60,8 +62,8 @@ fn check_both_directions(n: usize, seed: u64) {
     }
 }
 
-/// Every 5-smooth length up to 512 — pure powers of two take the
-/// Stockham kernels, everything else the mixed-radix fallback.
+/// Every 5-smooth length up to 512 — all of them take the iterative
+/// mixed-radix Stockham kernels.
 #[test]
 fn dense_sweep_of_smooth_lengths_matches_naive_dft() {
     let mut lengths = Vec::new();
@@ -93,9 +95,9 @@ fn prime_lengths_hit_the_fallback() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Random 2^a·3^b·5^c lengths (including pure powers of two and the
-    /// mixed-factor shapes that straddle the Stockham/fallback
-    /// boundary), random signals.
+    /// Random 2^a·3^b·5^c lengths (pure powers of two, pure powers of
+    /// 3 and 5, and every mixed factorization — all planned onto the
+    /// iterative Stockham path), random signals, vs the naive DFT.
     #[test]
     fn iterative_kernels_match_naive_dft(
         (a, b, c) in (0u32..10, 0u32..5, 0u32..4).prop_filter(
@@ -109,6 +111,39 @@ proptest! {
     ) {
         let n = 2usize.pow(a) * 3usize.pow(b) * 5usize.pow(c);
         check_both_directions(n, seed);
+    }
+
+    /// Random 5-smooth lengths: the iterative Stockham plan and the
+    /// recursive fallback plan must agree — the differential pin that
+    /// keeps the radix-3/5 stages honest against the long-standing
+    /// reference implementation.
+    #[test]
+    fn iterative_and_recursive_kernels_agree_on_5_smooth_lengths(
+        (a, b, c) in (0u32..10, 0u32..5, 0u32..4).prop_filter(
+            "length in [2, 600]",
+            |&(a, b, c)| {
+                let n = 2usize.pow(a) * 3usize.pow(b) * 5usize.pow(c);
+                (2..=600).contains(&n)
+            },
+        ),
+        seed in any::<u64>(),
+    ) {
+        let n = 2usize.pow(a) * 3usize.pow(b) * 5usize.pow(c);
+        let mut planner = FftPlanner::new();
+        let x = signal(n, seed);
+        for dir in [FftDirection::Forward, FftDirection::Inverse] {
+            let mut iter = x.clone();
+            planner.plan_fft(n, dir).process(&mut iter);
+            let mut rec = x.clone();
+            planner.plan_fft_recursive(n, dir).process(&mut rec);
+            let tol = 1e-5 * (n as f32) + 1e-4;
+            for (k, (u, v)) in iter.iter().zip(&rec).enumerate() {
+                prop_assert!(
+                    (*u - *v).norm() < tol,
+                    "len {} {:?} bin {}: {:?} vs {:?}", n, dir, k, u, v
+                );
+            }
+        }
     }
 
     /// Forward-then-inverse is the identity times n, for both kernel
@@ -179,7 +214,17 @@ proptest! {
 fn shared_pool_transforms_are_deterministic_at_1_2_4_workers() {
     let pool = std::sync::Arc::new(rayon::ThreadPool::with_workers(2));
     let serial = FftEngine::with_threads(1);
-    for shape in [Vec3::cube(32), Vec3::new(16, 32, 64), Vec3::new(128, 130, 1)] {
+    // 48³, 24·30·40 and 120·90·1 are 5-smooth non-powers-of-two: their
+    // lines run the new radix-3/5 Stockham stages, which must be as
+    // chunk-independent as the radix-4/2 ones
+    for shape in [
+        Vec3::cube(32),
+        Vec3::new(16, 32, 64),
+        Vec3::new(128, 130, 1),
+        Vec3::cube(48),
+        Vec3::new(24, 30, 40),
+        Vec3::new(120, 90, 1),
+    ] {
         let img = ops::random(shape, 0xB00);
         let want_spec = serial.rfft3(&img);
         let want_back = serial.irfft3(serial.rfft3(&img));

@@ -107,6 +107,36 @@ impl Executor {
     /// chunks) from `pool` instead of parking. Pair with a
     /// [`rayon::ThreadPool::donor_only`] pool so the executor's workers
     /// are the *only* threads in the budget.
+    ///
+    /// # Example
+    ///
+    /// One thread budget, two kinds of parallelism: a scheduler task
+    /// opens a fork-join scope on the shared donor-only pool, and its
+    /// chunks run on the task's own thread plus idle sibling workers —
+    /// never on new OS threads. (This is exactly how `znn-core` wires
+    /// `FftEngine::with_pool` to its executor.)
+    ///
+    /// ```
+    /// use std::sync::{mpsc, Arc};
+    /// use znn_sched::{Executor, QueuePolicy, Scheduler};
+    ///
+    /// let pool = Arc::new(rayon::ThreadPool::donor_only());
+    /// let exec = Executor::with_donation(2, QueuePolicy::Priority, Arc::clone(&pool));
+    /// let (tx, rx) = mpsc::channel();
+    /// exec.submit(0, {
+    ///     let pool = Arc::clone(&pool);
+    ///     Box::new(move || {
+    ///         let mut halves = [0u32; 2];
+    ///         pool.scope(|s| {
+    ///             for (i, h) in halves.iter_mut().enumerate() {
+    ///                 s.spawn(move |_| *h = i as u32 + 1);
+    ///             }
+    ///         });
+    ///         tx.send(halves[0] + halves[1]).unwrap();
+    ///     })
+    /// });
+    /// assert_eq!(rx.recv().unwrap(), 3);
+    /// ```
     pub fn with_donation(workers: usize, policy: QueuePolicy, pool: Arc<rayon::ThreadPool>) -> Self {
         Self::build(workers, policy, Some(pool))
     }

@@ -53,6 +53,33 @@ impl Spectrum {
         }
     }
 
+    /// True when the packed-axis extent of `full` is even or unit —
+    /// the **fast-path invariant** every transform shape produced by
+    /// `znn-fft`'s `good_shape` satisfies.
+    ///
+    /// An even packed extent `m` is what makes the r2c pipeline pay:
+    /// the packed stage runs a *half-length* (`m/2`) complex FFT per
+    /// line, and the stored `m/2 + 1` bins are the tight half-spectrum.
+    /// Odd extents still round-trip correctly (the engine falls back
+    /// to a full-length transform per line, truncated to the stored
+    /// bins) but silently forfeit both savings — so shape-producing
+    /// call sites that *intend* the fast path should assert this
+    /// predicate at construction rather than discover the regression
+    /// as a slow, memory-doubled training run. A unit extent is exempt:
+    /// a 1-point transform is the identity and is never inflated.
+    ///
+    /// ```
+    /// use znn_tensor::{Spectrum, Vec3};
+    /// assert!(Spectrum::packed_axis_is_even(Vec3::new(5, 7, 10)));
+    /// assert!(!Spectrum::packed_axis_is_even(Vec3::new(4, 6, 9)));
+    /// assert!(Spectrum::packed_axis_is_even(Vec3::one())); // unit exemption
+    /// ```
+    #[inline]
+    pub fn packed_axis_is_even(full: Vec3) -> bool {
+        let extent = full[Self::packed_axis(full)];
+        extent == 1 || extent.is_multiple_of(2)
+    }
+
     /// The packed shape of a real transform of logical shape `full`:
     /// `⌊m/2⌋ + 1` bins along the [`Spectrum::packed_axis`], full
     /// extents elsewhere.

@@ -310,6 +310,23 @@ fn host_threads() -> usize {
 
 /// A persistent fork-join worker pool. See the crate docs for the
 /// execution model.
+///
+/// # Example
+///
+/// ```
+/// use rayon::ThreadPool;
+///
+/// let pool = ThreadPool::with_workers(2);
+/// let mut parts = [0u64; 4];
+/// pool.scope(|s| {
+///     for (i, p) in parts.iter_mut().enumerate() {
+///         // tasks may borrow from the enclosing stack frame; the
+///         // scope joins them all before returning
+///         s.spawn(move |_| *p = i as u64 + 1);
+///     }
+/// });
+/// assert_eq!(parts.iter().sum::<u64>(), 10);
+/// ```
 pub struct ThreadPool {
     state: Arc<PoolState>,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -360,6 +377,25 @@ impl ThreadPool {
     /// instead of oversubscribing the machine (shim extension).
     /// `par_iter` under [`ThreadPool::install`] still chunks (to the
     /// host thread count) so donors can pick chunks up.
+    ///
+    /// # Example — donation semantics
+    ///
+    /// ```
+    /// use rayon::ThreadPool;
+    ///
+    /// // no worker threads at all: scope tasks run on the thread
+    /// // waiting on the scope (and on any donor that calls
+    /// // `run_pending_job` meanwhile)
+    /// let pool = ThreadPool::donor_only();
+    /// assert!(!pool.has_pending_jobs());
+    /// let mut hits = [false; 3];
+    /// pool.scope(|s| {
+    ///     for h in hits.iter_mut() {
+    ///         s.spawn(move |_| *h = true);
+    ///     }
+    /// });
+    /// assert!(hits.iter().all(|&h| h));
+    /// ```
     pub fn donor_only() -> Self {
         ThreadPool {
             state: Self::build_state(0, host_threads()),
@@ -649,6 +685,17 @@ where
 /// upstream-style: `op` may spawn tasks that borrow from the caller's
 /// stack; every task is joined before `scope` returns (a panicking
 /// task propagates its panic here).
+///
+/// # Example
+///
+/// ```
+/// let (mut lo, mut hi) = (0u32, 0u32);
+/// rayon::scope(|s| {
+///     s.spawn(|_| lo = (0..50).sum());
+///     s.spawn(|_| hi = (50..100).sum());
+/// });
+/// assert_eq!(lo + hi, (0..100).sum());
+/// ```
 pub fn scope<'scope, OP, R>(op: OP) -> R
 where
     OP: FnOnce(&Scope<'scope>) -> R,

@@ -4,21 +4,22 @@
 //! fetched. This shim implements the planner/plan API surface the
 //! workspace uses with two algorithms behind one trait:
 //!
-//! * **Iterative Stockham autosort** ([`Stockham`]) — the hot path, used
-//!   for every power-of-two length. Hardcoded radix-4 butterflies with a
-//!   single trailing radix-2 stage when `log2(n)` is odd, precomputed
-//!   per-stage twiddle tables (`(w, w², w³)` triples stored contiguously
-//!   in inner-loop order), and ping-pong between the caller's buffer and
-//!   the scratch half — no bit-reversal pass, unit-stride inner loops
-//!   over contiguous `re`/`im` pairs that the compiler autovectorizes.
-//! * **Recursive mixed-radix Cooley–Tukey** ([`MixedRadix`]) — the
-//!   fallback for everything else: composite lengths decompose into
-//!   their prime factors, prime factors fall back to a naive O(p²) DFT.
-//!   The workspace pads transforms to 5-smooth sizes and prefers even
-//!   (usually power-of-two) extents, so this path is warm only for
-//!   lengths with factors 3 or 5. It is also exposed directly via
-//!   [`FftPlanner::plan_fft_recursive`] as the parity/bench baseline for
-//!   the Stockham kernels.
+//! * **Iterative mixed-radix Stockham autosort** (the `stockham`
+//!   module) — the hot path, used for every 5-smooth length (`2^a·3^b·5^c`, which is
+//!   every length the workspace's `good_shape` padding produces). A
+//!   stage planner factors the length into hardcoded radix-4/3/5
+//!   butterflies plus one trailing radix-2 stage for odd `log2`
+//!   2-parts, with precomputed per-stage twiddle tables stored
+//!   contiguously in inner-loop order and ping-pong between the
+//!   caller's buffer and the scratch half — no bit/digit-reversal
+//!   pass, unit-stride inner loops over contiguous `re`/`im` pairs
+//!   that the compiler autovectorizes.
+//! * **Recursive mixed-radix Cooley–Tukey** (the `recursive` module) —
+//!   the fallback for lengths with prime factors larger than 5: composite
+//!   lengths decompose into their prime factors, prime factors fall
+//!   back to a naive O(p²) DFT. It is also exposed directly via
+//!   [`FftPlanner::plan_fft_recursive`] as the parity/bench baseline
+//!   for the Stockham kernels.
 //!
 //! Shared semantics, matching upstream (and FFTW/MKL):
 //!
@@ -30,10 +31,31 @@
 //!
 //! Swap back to the real crate for SIMD kernels; the API is unchanged
 //! (`plan_fft_recursive` is a shim-only extra used by the benches).
+//!
+//! # Example
+//!
+//! ```
+//! use rustfft::{num_complex::Complex, FftPlanner};
+//!
+//! let mut planner = FftPlanner::new();
+//! // 48 = 2^4·3 is 5-smooth: planned onto the iterative Stockham path
+//! let fft = planner.plan_fft_forward(48);
+//! let mut buffer = vec![Complex::new(1.0f32, 0.0); 48];
+//! fft.process(&mut buffer);
+//! // the DC bin of a constant signal is the total mass
+//! assert!((buffer[0].re - 48.0).abs() < 1e-4);
+//! assert!(buffer[1].norm() < 1e-4);
+//! ```
 
 pub use num_complex;
 use num_complex::Complex;
-use std::sync::Arc;
+
+mod planner;
+pub(crate) mod recursive;
+pub(crate) mod stockham;
+pub(crate) mod twiddles;
+
+pub use planner::FftPlanner;
 
 /// Direction of a transform.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -46,7 +68,7 @@ pub enum FftDirection {
 
 impl FftDirection {
     /// The sign of the exponent: `-1` forward, `+1` inverse.
-    fn sign(self) -> f64 {
+    pub(crate) fn sign(self) -> f64 {
         match self {
             FftDirection::Forward => -1.0,
             FftDirection::Inverse => 1.0,
@@ -70,393 +92,6 @@ pub trait Fft<T>: Send + Sync {
 
     /// Convenience: transform with internally allocated scratch.
     fn process(&self, buffer: &mut [Complex<T>]);
-}
-
-/// Plans FFTs. The workspace caches plans itself, so this planner does
-/// not memoize.
-pub struct FftPlanner<T> {
-    _marker: std::marker::PhantomData<T>,
-}
-
-impl FftPlanner<f32> {
-    /// A new planner.
-    #[allow(clippy::new_without_default)]
-    pub fn new() -> Self {
-        FftPlanner {
-            _marker: std::marker::PhantomData,
-        }
-    }
-
-    /// Plan a forward FFT of `len`.
-    pub fn plan_fft_forward(&mut self, len: usize) -> Arc<dyn Fft<f32>> {
-        self.plan_fft(len, FftDirection::Forward)
-    }
-
-    /// Plan an inverse FFT of `len`.
-    pub fn plan_fft_inverse(&mut self, len: usize) -> Arc<dyn Fft<f32>> {
-        self.plan_fft(len, FftDirection::Inverse)
-    }
-
-    /// Plan a transform in the given direction: the iterative Stockham
-    /// radix-4/2 kernels for power-of-two lengths, the generic recursive
-    /// mixed-radix fallback for everything else.
-    pub fn plan_fft(&mut self, len: usize, direction: FftDirection) -> Arc<dyn Fft<f32>> {
-        if len >= 2 && len.is_power_of_two() {
-            Arc::new(Stockham::new(len, direction))
-        } else {
-            Arc::new(MixedRadix::new(len, direction))
-        }
-    }
-
-    /// Plan the generic *recursive mixed-radix* transform regardless of
-    /// length. Shim-only extra: the old hot path, kept as the
-    /// correctness/performance baseline the `fft_kernels` bench compares
-    /// the Stockham kernels against.
-    pub fn plan_fft_recursive(&mut self, len: usize, direction: FftDirection) -> Arc<dyn Fft<f32>> {
-        Arc::new(MixedRadix::new(len, direction))
-    }
-}
-
-// ---------------------------------------------------------------------
-// Iterative Stockham autosort (power-of-two lengths)
-// ---------------------------------------------------------------------
-
-/// Iterative Stockham autosort FFT for `n = 2^k`.
-///
-/// Decimation in frequency. Each stage maps a sub-transform length
-/// `n_cur` (starting at `n`, shrinking by the radix) and a batch stride
-/// `s` (starting at 1, growing by the radix) over the data, writing the
-/// permuted output of the butterfly directly — the "autosort": no
-/// bit-reversal pass, every read and write is unit-stride within an
-/// inner loop of `s` consecutive elements. Radix-4 stages run while
-/// `n_cur >= 4`; an odd power of two ends with one radix-2 stage at
-/// `n_cur == 2` (whose twiddle is 1). Data ping-pongs between the
-/// caller's chunk and the scratch buffer; an odd stage count is fixed
-/// with one final copy.
-///
-/// Stage `j` (radix 4, current length `n_cur`, `n1 = n_cur/4`) computes,
-/// for `p ∈ [0, n1)` and `q ∈ [0, s)`:
-///
-/// ```text
-/// a,b,c,d     = src[q + s·(p + r·n1)],  r = 0..4
-/// dst[q + s·(4p+0)] =       (a+c) + (b+d)
-/// dst[q + s·(4p+1)] = w¹p·((a−c) ∓ i(b−d))      (∓: forward/inverse)
-/// dst[q + s·(4p+2)] = w²p·((a+c) − (b+d))
-/// dst[q + s·(4p+3)] = w³p·((a−c) ± i(b−d))
-/// ```
-///
-/// with `w = e^{∓2πi/n_cur}`. The `(w¹p, w²p, w³p)` triples are
-/// precomputed per stage in `p` order, so the butterfly streams its
-/// twiddles linearly.
-struct Stockham {
-    len: usize,
-    /// `-1.0` forward, `+1.0` inverse: the sign of `i` in the radix-4
-    /// butterfly's `±i(b−d)` term.
-    esign: f32,
-    /// One table per radix-4 stage, in execution order: stage `j`
-    /// (current length `n_cur = len >> 2j`) holds `3·n_cur/4` entries,
-    /// the triple `(w¹p, w²p, w³p)` for each `p`. The trailing radix-2
-    /// stage, if any, needs no twiddles (its only `p` is 0).
-    stages: Vec<Vec<Complex<f32>>>,
-}
-
-impl Stockham {
-    fn new(len: usize, direction: FftDirection) -> Self {
-        assert!(len.is_power_of_two() && len >= 2);
-        let sign = direction.sign();
-        let mut stages = Vec::new();
-        let mut n_cur = len;
-        while n_cur >= 4 {
-            let n1 = n_cur / 4;
-            let step = sign * 2.0 * std::f64::consts::PI / n_cur as f64;
-            let mut tw = Vec::with_capacity(3 * n1);
-            for p in 0..n1 {
-                for r in 1..=3 {
-                    let ang = step * (r * p) as f64;
-                    tw.push(Complex::new(ang.cos() as f32, ang.sin() as f32));
-                }
-            }
-            stages.push(tw);
-            n_cur /= 4;
-        }
-        Stockham {
-            len,
-            esign: sign as f32,
-            stages,
-        }
-    }
-
-    /// One radix-4 Stockham stage: `src` at `(n_cur, s)` digit position
-    /// into `dst`. `src` and `dst` must be distinct `len`-element
-    /// buffers.
-    fn stage4(src: &[Complex<f32>], dst: &mut [Complex<f32>], s: usize, tw: &[Complex<f32>], esign: f32) {
-        let n1 = src.len() / (4 * s);
-        for p in 0..n1 {
-            let w1 = tw[3 * p];
-            let w2 = tw[3 * p + 1];
-            let w3 = tw[3 * p + 2];
-            let x0 = &src[s * p..s * (p + 1)];
-            let x1 = &src[s * (p + n1)..s * (p + n1) + s];
-            let x2 = &src[s * (p + 2 * n1)..s * (p + 2 * n1) + s];
-            let x3 = &src[s * (p + 3 * n1)..s * (p + 3 * n1) + s];
-            let block = &mut dst[4 * s * p..4 * s * (p + 1)];
-            let (d0, rest) = block.split_at_mut(s);
-            let (d1, rest) = rest.split_at_mut(s);
-            let (d2, d3) = rest.split_at_mut(s);
-            for q in 0..s {
-                let a = x0[q];
-                let b = x1[q];
-                let c = x2[q];
-                let d = x3[q];
-                let apc = a + c;
-                let amc = a - c;
-                let bpd = b + d;
-                let bmd = b - d;
-                // jt = esign·i·(b−d): −i(b−d) forward, +i(b−d) inverse
-                let jt = Complex::new(-esign * bmd.im, esign * bmd.re);
-                d0[q] = apc + bpd;
-                let y1 = amc + jt;
-                let y3 = amc - jt;
-                d1[q] = Complex::new(
-                    y1.re * w1.re - y1.im * w1.im,
-                    y1.re * w1.im + y1.im * w1.re,
-                );
-                let y2 = apc - bpd;
-                d2[q] = Complex::new(
-                    y2.re * w2.re - y2.im * w2.im,
-                    y2.re * w2.im + y2.im * w2.re,
-                );
-                d3[q] = Complex::new(
-                    y3.re * w3.re - y3.im * w3.im,
-                    y3.re * w3.im + y3.im * w3.re,
-                );
-            }
-        }
-    }
-
-    /// The trailing radix-2 stage (`n_cur == 2`, `s == len/2`): its only
-    /// twiddle is `w⁰ = 1`, so it is a pure elementwise butterfly.
-    fn stage2(src: &[Complex<f32>], dst: &mut [Complex<f32>]) {
-        let s = src.len() / 2;
-        let (a, b) = src.split_at(s);
-        let (d0, d1) = dst.split_at_mut(s);
-        for q in 0..s {
-            d0[q] = a[q] + b[q];
-            d1[q] = a[q] - b[q];
-        }
-    }
-
-    /// Transform one `len`-element chunk, using `work` (also `len`
-    /// elements) as the ping-pong partner.
-    fn transform_chunk(&self, chunk: &mut [Complex<f32>], work: &mut [Complex<f32>]) {
-        let mut n_cur = self.len;
-        let mut s = 1usize;
-        let mut in_chunk = true;
-        for tw in &self.stages {
-            if in_chunk {
-                Self::stage4(chunk, work, s, tw, self.esign);
-            } else {
-                Self::stage4(work, chunk, s, tw, self.esign);
-            }
-            in_chunk = !in_chunk;
-            n_cur /= 4;
-            s *= 4;
-        }
-        if n_cur == 2 {
-            if in_chunk {
-                Self::stage2(chunk, work);
-            } else {
-                Self::stage2(work, chunk);
-            }
-            in_chunk = !in_chunk;
-        }
-        if !in_chunk {
-            chunk.copy_from_slice(work);
-        }
-    }
-}
-
-impl Fft<f32> for Stockham {
-    fn process_with_scratch(&self, buffer: &mut [Complex<f32>], scratch: &mut [Complex<f32>]) {
-        let n = self.len;
-        assert!(
-            buffer.len().is_multiple_of(n),
-            "buffer length {} is not a multiple of the FFT length {n}",
-            buffer.len()
-        );
-        assert!(
-            scratch.len() >= n,
-            "scratch too small: {} < {n}",
-            scratch.len()
-        );
-        let work = &mut scratch[..n];
-        for chunk in buffer.chunks_mut(n) {
-            self.transform_chunk(chunk, work);
-        }
-    }
-
-    fn get_inplace_scratch_len(&self) -> usize {
-        self.len
-    }
-
-    fn len(&self) -> usize {
-        self.len
-    }
-
-    fn process(&self, buffer: &mut [Complex<f32>]) {
-        let mut scratch = vec![Complex::new(0.0, 0.0); self.get_inplace_scratch_len()];
-        self.process_with_scratch(buffer, &mut scratch);
-    }
-}
-
-// ---------------------------------------------------------------------
-// Recursive mixed-radix fallback (non-power-of-two lengths)
-// ---------------------------------------------------------------------
-
-/// Recursive mixed-radix Cooley–Tukey FFT with a per-plan twiddle table.
-struct MixedRadix {
-    len: usize,
-    /// `twiddles[t] = e^{sign·2πi·t/len}`, `sign` per direction.
-    twiddles: Vec<Complex<f32>>,
-    /// Largest prime factor of `len` (size of the butterfly temp row).
-    max_factor: usize,
-}
-
-fn smallest_prime_factor(n: usize) -> usize {
-    if n.is_multiple_of(2) {
-        return 2;
-    }
-    let mut p = 3;
-    while p * p <= n {
-        if n.is_multiple_of(p) {
-            return p;
-        }
-        p += 2;
-    }
-    n
-}
-
-fn largest_prime_factor(mut n: usize) -> usize {
-    let mut largest = 1;
-    while n > 1 {
-        let p = smallest_prime_factor(n);
-        largest = largest.max(p);
-        while n.is_multiple_of(p) {
-            n /= p;
-        }
-    }
-    largest
-}
-
-impl MixedRadix {
-    fn new(len: usize, direction: FftDirection) -> Self {
-        let sign = direction.sign();
-        let twiddles = (0..len.max(1))
-            .map(|t| {
-                let ang = sign * 2.0 * std::f64::consts::PI * t as f64 / len.max(1) as f64;
-                Complex::new(ang.cos() as f32, ang.sin() as f32)
-            })
-            .collect();
-        MixedRadix {
-            len,
-            twiddles,
-            max_factor: largest_prime_factor(len.max(1)),
-        }
-    }
-
-    /// `dst[s] = Σ_t src[t·stride] · w_n^{st}` for a sub-transform of
-    /// size `n = len / tstep`, reading `src` at the given stride.
-    ///
-    /// Decimation in time: split `n = p·m` on the smallest prime `p`,
-    /// recurse on the `p` interleaved sub-sequences, then combine with
-    /// `X[k + s·m] = Σ_q (Y_q[k]·w_n^{qk}) · w_p^{qs}`. The combine
-    /// reads and writes the same `p` positions `{k + j·m}` per `k`, so a
-    /// `p`-element temp row makes it safe in place.
-    fn compute(&self, src: &[Complex<f32>], dst: &mut [Complex<f32>], stride: usize, tstep: usize, tmp: &mut [Complex<f32>]) {
-        let n = self.len / tstep;
-        if n == 1 {
-            dst[0] = src[0];
-            return;
-        }
-        let p = smallest_prime_factor(n);
-        let m = n / p;
-        if m == 1 {
-            // prime length: naive DFT from the strided source (src and
-            // dst never alias — src is the scratch copy)
-            for (s, d) in dst.iter_mut().take(p).enumerate() {
-                let mut acc = Complex::new(0.0, 0.0);
-                for q in 0..p {
-                    let w = self.twiddles[(q * s * tstep) % self.len];
-                    acc += src[q * stride] * w;
-                }
-                *d = acc;
-            }
-            return;
-        }
-        for q in 0..p {
-            self.compute(
-                &src[q * stride..],
-                &mut dst[q * m..(q + 1) * m],
-                stride * p,
-                tstep * p,
-                tmp,
-            );
-        }
-        // combine: X[k + s·m] = Σ_q (Y_q[k]·w_n^{qk}) · w_p^{qs}
-        let wp_step = self.len / p;
-        for k in 0..m {
-            for q in 0..p {
-                let w = self.twiddles[(q * k * tstep) % self.len];
-                tmp[q] = dst[q * m + k] * w;
-            }
-            for s in 0..p {
-                let mut acc = tmp[0];
-                for (q, &t) in tmp.iter().enumerate().take(p).skip(1) {
-                    let w = self.twiddles[(q * s * wp_step) % self.len];
-                    acc += t * w;
-                }
-                dst[k + s * m] = acc;
-            }
-        }
-    }
-}
-
-impl Fft<f32> for MixedRadix {
-    fn process_with_scratch(&self, buffer: &mut [Complex<f32>], scratch: &mut [Complex<f32>]) {
-        let n = self.len;
-        if n <= 1 {
-            return;
-        }
-        assert!(
-            buffer.len().is_multiple_of(n),
-            "buffer length {} is not a multiple of the FFT length {n}",
-            buffer.len()
-        );
-        assert!(
-            scratch.len() >= self.get_inplace_scratch_len(),
-            "scratch too small: {} < {}",
-            scratch.len(),
-            self.get_inplace_scratch_len()
-        );
-        let (copy, tmp) = scratch.split_at_mut(n);
-        for chunk in buffer.chunks_mut(n) {
-            copy.copy_from_slice(chunk);
-            self.compute(copy, chunk, 1, 1, tmp);
-        }
-    }
-
-    fn get_inplace_scratch_len(&self) -> usize {
-        self.len + self.max_factor
-    }
-
-    fn len(&self) -> usize {
-        self.len
-    }
-
-    fn process(&self, buffer: &mut [Complex<f32>]) {
-        let mut scratch = vec![Complex::new(0.0, 0.0); self.get_inplace_scratch_len()];
-        self.process_with_scratch(buffer, &mut scratch);
-    }
 }
 
 #[cfg(test)]
@@ -524,11 +159,47 @@ mod tests {
     }
 
     #[test]
+    fn stockham_matches_naive_dft_on_every_5_smooth_length() {
+        // the mixed-radix tentpole: every 5-smooth length ≤ 600 now
+        // takes the iterative path — single radices (2^k, 3^k, 5^k) and
+        // every mixed factorization
+        let mut planner = FftPlanner::new();
+        let mut covered = 0;
+        for n in 2..=600usize {
+            let mut m = n;
+            for p in [2usize, 3, 5] {
+                while m % p == 0 {
+                    m /= p;
+                }
+            }
+            if m != 1 {
+                continue;
+            }
+            covered += 1;
+            let x = test_signal(n);
+            let mut fwd = x.clone();
+            planner.plan_fft_forward(n).process(&mut fwd);
+            let want = naive_dft(&x, -1.0);
+            for (a, b) in fwd.iter().zip(&want) {
+                assert!((*a - *b).norm() < 1e-4 * n as f32, "fwd len {n}");
+            }
+            let mut inv = x.clone();
+            planner.plan_fft_inverse(n).process(&mut inv);
+            let want = naive_dft(&x, 1.0);
+            for (a, b) in inv.iter().zip(&want) {
+                assert!((*a - *b).norm() < 1e-4 * n as f32, "inv len {n}");
+            }
+        }
+        assert!(covered > 50, "5-smooth sweep too sparse: {covered}");
+    }
+
+    #[test]
     fn stockham_agrees_with_recursive_kernels() {
         // differential pin: the two algorithms must agree wherever both
-        // apply (the fallback is the long-standing reference)
+        // apply (the fallback is the long-standing reference) — now
+        // including non-power-of-two 5-smooth lengths
         let mut planner = FftPlanner::new();
-        for n in [2usize, 4, 8, 16, 64, 128, 512] {
+        for n in [2usize, 4, 8, 16, 64, 128, 512, 6, 12, 45, 48, 60, 120, 360, 375] {
             for dir in [FftDirection::Forward, FftDirection::Inverse] {
                 let x = test_signal(n);
                 let mut a = x.clone();
@@ -545,7 +216,7 @@ mod tests {
     #[test]
     fn inverse_is_unnormalized_inverse() {
         let mut planner = FftPlanner::new();
-        for n in [4usize, 6, 9, 11, 16, 25, 64, 256] {
+        for n in [4usize, 6, 9, 11, 16, 25, 64, 75, 256, 270] {
             let x = test_signal(n);
             let mut buf = x.clone();
             planner.plan_fft_forward(n).process(&mut buf);
@@ -560,8 +231,9 @@ mod tests {
     #[test]
     fn processes_every_chunk() {
         let mut planner = FftPlanner::new();
-        // both algorithms must honor the batched-chunk contract
-        for n in [4usize, 6] {
+        // both algorithms must honor the batched-chunk contract (6 is
+        // 5-smooth → Stockham, 7 is prime → recursive fallback)
+        for n in [4usize, 6, 7] {
             let plan = planner.plan_fft_forward(n);
             let line = test_signal(n);
             let mut batched: Vec<Complex<f32>> = [line.clone(), line.clone()].concat();

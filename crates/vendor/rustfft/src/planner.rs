@@ -1,0 +1,75 @@
+//! The planner: routes each length to a kernel family.
+//!
+//! * 5-smooth lengths (`2^a·3^b·5^c ≥ 2`) → the iterative mixed-radix
+//!   Stockham kernels ([`crate::stockham`]);
+//! * everything else (lengths with a prime factor > 5, and the
+//!   degenerate lengths 0/1) → the recursive fallback
+//!   ([`crate::recursive`]).
+//!
+//! The workspace's `good_shape` only produces 5-smooth extents, so in
+//! production every planned line transform is a Stockham plan.
+
+use crate::recursive::MixedRadix;
+use crate::stockham::Stockham;
+use crate::{Fft, FftDirection};
+use std::sync::Arc;
+
+/// True when `n ≥ 1` has no prime factor larger than 5 — the lengths
+/// the iterative Stockham engine can factor into {4, 3, 5, 2} stages.
+pub(crate) fn is_5_smooth(mut n: usize) -> bool {
+    if n == 0 {
+        return false;
+    }
+    for p in [2usize, 3, 5] {
+        while n.is_multiple_of(p) {
+            n /= p;
+        }
+    }
+    n == 1
+}
+
+/// Plans FFTs. The workspace caches plans itself, so this planner does
+/// not memoize.
+pub struct FftPlanner<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl FftPlanner<f32> {
+    /// A new planner.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        FftPlanner {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Plan a forward FFT of `len`.
+    pub fn plan_fft_forward(&mut self, len: usize) -> Arc<dyn Fft<f32>> {
+        self.plan_fft(len, FftDirection::Forward)
+    }
+
+    /// Plan an inverse FFT of `len`.
+    pub fn plan_fft_inverse(&mut self, len: usize) -> Arc<dyn Fft<f32>> {
+        self.plan_fft(len, FftDirection::Inverse)
+    }
+
+    /// Plan a transform in the given direction: the iterative
+    /// mixed-radix Stockham kernels for every 5-smooth length, the
+    /// generic recursive fallback for lengths with prime factors
+    /// larger than 5.
+    pub fn plan_fft(&mut self, len: usize, direction: FftDirection) -> Arc<dyn Fft<f32>> {
+        if len >= 2 && is_5_smooth(len) {
+            Arc::new(Stockham::new(len, direction))
+        } else {
+            Arc::new(MixedRadix::new(len, direction))
+        }
+    }
+
+    /// Plan the generic *recursive mixed-radix* transform regardless of
+    /// length. Shim-only extra: the old hot path, kept as the
+    /// correctness/performance baseline the `fft_kernels` and
+    /// `fft_traffic` benches compare the Stockham kernels against.
+    pub fn plan_fft_recursive(&mut self, len: usize, direction: FftDirection) -> Arc<dyn Fft<f32>> {
+        Arc::new(MixedRadix::new(len, direction))
+    }
+}

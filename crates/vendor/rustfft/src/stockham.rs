@@ -1,0 +1,391 @@
+//! Iterative mixed-radix Stockham autosort kernels for 5-smooth
+//! lengths.
+//!
+//! Decimation in frequency. Each stage maps a sub-transform length
+//! `n_cur` (starting at `n`, shrinking by the stage's radix) and a
+//! batch stride `s` (starting at 1, growing by the radix) over the
+//! data, writing the permuted output of the butterfly directly — the
+//! "autosort": no bit/digit-reversal pass, every read and write is
+//! unit-stride within an inner loop of `s` consecutive elements. Data
+//! ping-pongs between the caller's chunk and the scratch buffer; an
+//! odd stage count is fixed with one final copy.
+//!
+//! A stage of radix `r` (current length `n_cur`, `n1 = n_cur/r`)
+//! computes, for `p ∈ [0, n1)` and `q ∈ [0, s)`:
+//!
+//! ```text
+//! x_m = src[q + s·(p + m·n1)],          m = 0..r
+//! dst[q + s·(r·p + j)] = w^{j·p} · Σ_m x_m · w_r^{j·m},   j = 0..r
+//! ```
+//!
+//! with `w = e^{∓2πi/n_cur}` and `w_r = e^{∓2πi/r}` (sign per
+//! direction). The `w_r^{j·m}` factors are folded into hardcoded
+//! butterflies (radix 2/3/4/5 below); the `w^{j·p}` factors stream
+//! from a per-stage table in `p` order ([`crate::twiddles::stage_table`]).
+//!
+//! # Stage planning
+//!
+//! [`plan_stages`] factors a 5-smooth `n = 2^a·3^b·5^c` into the stage
+//! sequence `⌊a/2⌋ × radix-4`, then `b × radix-3`, then `c × radix-5`,
+//! and — when `a` is odd — one trailing radix-2 stage. Running the
+//! radix-2 stage last keeps it twiddle-free for pure powers of two
+//! (`n_cur == 2` has the single digit `p = 0`, whose twiddle is 1), so
+//! the 2^k stage sequences and arithmetic are unchanged from the
+//! radix-4/2-only engine. Lengths with prime factors larger than 5
+//! stay on the recursive fallback ([`crate::recursive::MixedRadix`]).
+
+use crate::twiddles::stage_table;
+use crate::{Fft, FftDirection};
+use num_complex::Complex;
+
+/// `sin(π/3)` — the radix-3 butterfly's rotation magnitude.
+const S3: f32 = 0.866_025_403_784_438_6_f64 as f32;
+/// `cos(2π/5)`, `cos(4π/5)`, `sin(2π/5)`, `sin(4π/5)` — the radix-5
+/// butterfly's rotation coefficients.
+const C51: f32 = 0.309_016_994_374_947_45_f64 as f32;
+const C52: f32 = -0.809_016_994_374_947_5_f64 as f32;
+const S51: f32 = 0.951_056_516_295_153_5_f64 as f32;
+const S52: f32 = 0.587_785_252_292_473_1_f64 as f32;
+
+/// One planned Stockham stage: its radix and its streamed twiddle
+/// table (`radix − 1` entries per digit `p`).
+struct Stage {
+    radix: u8,
+    twiddles: Vec<Complex<f32>>,
+}
+
+/// Factors a 5-smooth `len` into the stage sequence described in the
+/// [module docs](self), with per-stage twiddle tables for `sign`.
+fn plan_stages(len: usize, sign: f64) -> Vec<Stage> {
+    let mut rem = len;
+    let mut twos = 0u32;
+    while rem.is_multiple_of(2) {
+        rem /= 2;
+        twos += 1;
+    }
+    let mut radices = vec![4u8; (twos / 2) as usize];
+    while rem.is_multiple_of(3) {
+        rem /= 3;
+        radices.push(3);
+    }
+    while rem.is_multiple_of(5) {
+        rem /= 5;
+        radices.push(5);
+    }
+    if twos % 2 == 1 {
+        radices.push(2);
+    }
+    assert_eq!(rem, 1, "Stockham::new on non-5-smooth length {len}");
+    let mut n_cur = len;
+    radices
+        .into_iter()
+        .map(|radix| {
+            let stage = Stage {
+                radix,
+                twiddles: stage_table(n_cur, radix as usize, sign),
+            };
+            n_cur /= radix as usize;
+            stage
+        })
+        .collect()
+}
+
+/// Iterative mixed-radix Stockham autosort FFT for 5-smooth `n ≥ 2`.
+///
+/// The hot path of the planner: every length of the form `2^a·3^b·5^c`
+/// — which is every length `znn-fft`'s `good_shape` produces — runs
+/// through these kernels; see the [module docs](self) for the stage
+/// structure.
+pub(crate) struct Stockham {
+    len: usize,
+    /// `-1.0` forward, `+1.0` inverse: the sign of `i` in the
+    /// butterflies' rotation terms.
+    esign: f32,
+    /// Stages in execution order.
+    stages: Vec<Stage>,
+}
+
+impl Stockham {
+    pub(crate) fn new(len: usize, direction: FftDirection) -> Self {
+        assert!(len >= 2, "Stockham::new needs len >= 2, got {len}");
+        let sign = direction.sign();
+        Stockham {
+            len,
+            esign: sign as f32,
+            stages: plan_stages(len, sign),
+        }
+    }
+
+    /// Radix-2 stage. [`plan_stages`] always schedules radix-2 *last*
+    /// (`n_cur == 2`, single digit `p = 0`, twiddle `w⁰ = 1`), so the
+    /// butterfly is a pure elementwise add/sub over the two halves —
+    /// this function asserts that invariant rather than carrying a
+    /// general twiddled digit loop no planned sequence can reach.
+    fn stage2(src: &[Complex<f32>], dst: &mut [Complex<f32>], s: usize) {
+        debug_assert_eq!(
+            src.len(),
+            2 * s,
+            "the radix-2 stage must be scheduled last (n_cur == 2)"
+        );
+        let (a, b) = src.split_at(s);
+        let (d0, d1) = dst.split_at_mut(s);
+        for q in 0..s {
+            d0[q] = a[q] + b[q];
+            d1[q] = a[q] - b[q];
+        }
+    }
+
+    /// Radix-3 stage:
+    ///
+    /// ```text
+    /// t  = b + c
+    /// dst[3p+0] =        a + t
+    /// dst[3p+1] = w¹p·((a − t/2) ± i·sin(π/3)·(b − c))
+    /// dst[3p+2] = w²p·((a − t/2) ∓ i·sin(π/3)·(b − c))
+    /// ```
+    ///
+    /// (`±`: inverse/forward), folding `w₃ = −1/2 ± i·sin(π/3)`.
+    fn stage3(
+        src: &[Complex<f32>],
+        dst: &mut [Complex<f32>],
+        s: usize,
+        tw: &[Complex<f32>],
+        esign: f32,
+    ) {
+        let n1 = src.len() / (3 * s);
+        for p in 0..n1 {
+            let w1 = tw[2 * p];
+            let w2 = tw[2 * p + 1];
+            let x0 = &src[s * p..s * (p + 1)];
+            let x1 = &src[s * (p + n1)..s * (p + n1) + s];
+            let x2 = &src[s * (p + 2 * n1)..s * (p + 2 * n1) + s];
+            let (d0, rest) = dst[3 * s * p..3 * s * (p + 1)].split_at_mut(s);
+            let (d1, d2) = rest.split_at_mut(s);
+            for q in 0..s {
+                let a = x0[q];
+                let b = x1[q];
+                let c = x2[q];
+                let t = b + c;
+                let m = Complex::new(a.re - 0.5 * t.re, a.im - 0.5 * t.im);
+                let bmc = b - c;
+                // jt = esign·i·sin(π/3)·(b−c)
+                let jt = Complex::new(-esign * S3 * bmc.im, esign * S3 * bmc.re);
+                d0[q] = a + t;
+                let y1 = m + jt;
+                let y2 = m - jt;
+                d1[q] = Complex::new(
+                    y1.re * w1.re - y1.im * w1.im,
+                    y1.re * w1.im + y1.im * w1.re,
+                );
+                d2[q] = Complex::new(
+                    y2.re * w2.re - y2.im * w2.im,
+                    y2.re * w2.im + y2.im * w2.re,
+                );
+            }
+        }
+    }
+
+    /// Radix-4 stage — the workhorse, unchanged from the radix-4/2
+    /// engine:
+    ///
+    /// ```text
+    /// dst[4p+0] =       (a+c) + (b+d)
+    /// dst[4p+1] = w¹p·((a−c) ∓ i(b−d))      (∓: forward/inverse)
+    /// dst[4p+2] = w²p·((a+c) − (b+d))
+    /// dst[4p+3] = w³p·((a−c) ± i(b−d))
+    /// ```
+    fn stage4(
+        src: &[Complex<f32>],
+        dst: &mut [Complex<f32>],
+        s: usize,
+        tw: &[Complex<f32>],
+        esign: f32,
+    ) {
+        let n1 = src.len() / (4 * s);
+        for p in 0..n1 {
+            let w1 = tw[3 * p];
+            let w2 = tw[3 * p + 1];
+            let w3 = tw[3 * p + 2];
+            let x0 = &src[s * p..s * (p + 1)];
+            let x1 = &src[s * (p + n1)..s * (p + n1) + s];
+            let x2 = &src[s * (p + 2 * n1)..s * (p + 2 * n1) + s];
+            let x3 = &src[s * (p + 3 * n1)..s * (p + 3 * n1) + s];
+            let block = &mut dst[4 * s * p..4 * s * (p + 1)];
+            let (d0, rest) = block.split_at_mut(s);
+            let (d1, rest) = rest.split_at_mut(s);
+            let (d2, d3) = rest.split_at_mut(s);
+            for q in 0..s {
+                let a = x0[q];
+                let b = x1[q];
+                let c = x2[q];
+                let d = x3[q];
+                let apc = a + c;
+                let amc = a - c;
+                let bpd = b + d;
+                let bmd = b - d;
+                // jt = esign·i·(b−d): −i(b−d) forward, +i(b−d) inverse
+                let jt = Complex::new(-esign * bmd.im, esign * bmd.re);
+                d0[q] = apc + bpd;
+                let y1 = amc + jt;
+                let y3 = amc - jt;
+                d1[q] = Complex::new(
+                    y1.re * w1.re - y1.im * w1.im,
+                    y1.re * w1.im + y1.im * w1.re,
+                );
+                let y2 = apc - bpd;
+                d2[q] = Complex::new(
+                    y2.re * w2.re - y2.im * w2.im,
+                    y2.re * w2.im + y2.im * w2.re,
+                );
+                d3[q] = Complex::new(
+                    y3.re * w3.re - y3.im * w3.im,
+                    y3.re * w3.im + y3.im * w3.re,
+                );
+            }
+        }
+    }
+
+    /// Radix-5 stage, folding `w₅^{j·m}` into real rotation
+    /// coefficients (`c₁ = cos 2π/5`, `c₂ = cos 4π/5`, `s₁ = sin 2π/5`,
+    /// `s₂ = sin 4π/5`):
+    ///
+    /// ```text
+    /// t1 = b + e,  t2 = c + d,  t3 = b − e,  t4 = c − d
+    /// dst[5p+0] =        a + t1 + t2
+    /// dst[5p+1] = w¹p·((a + c₁t1 + c₂t2) ± i(s₁t3 + s₂t4))
+    /// dst[5p+2] = w²p·((a + c₂t1 + c₁t2) ± i(s₂t3 − s₁t4))
+    /// dst[5p+3] = w³p·((a + c₂t1 + c₁t2) ∓ i(s₂t3 − s₁t4))
+    /// dst[5p+4] = w⁴p·((a + c₁t1 + c₂t2) ∓ i(s₁t3 + s₂t4))
+    /// ```
+    ///
+    /// (`±`: inverse/forward).
+    fn stage5(
+        src: &[Complex<f32>],
+        dst: &mut [Complex<f32>],
+        s: usize,
+        tw: &[Complex<f32>],
+        esign: f32,
+    ) {
+        let n1 = src.len() / (5 * s);
+        for p in 0..n1 {
+            let w1 = tw[4 * p];
+            let w2 = tw[4 * p + 1];
+            let w3 = tw[4 * p + 2];
+            let w4 = tw[4 * p + 3];
+            let x0 = &src[s * p..s * (p + 1)];
+            let x1 = &src[s * (p + n1)..s * (p + n1) + s];
+            let x2 = &src[s * (p + 2 * n1)..s * (p + 2 * n1) + s];
+            let x3 = &src[s * (p + 3 * n1)..s * (p + 3 * n1) + s];
+            let x4 = &src[s * (p + 4 * n1)..s * (p + 4 * n1) + s];
+            let block = &mut dst[5 * s * p..5 * s * (p + 1)];
+            let (d0, rest) = block.split_at_mut(s);
+            let (d1, rest) = rest.split_at_mut(s);
+            let (d2, rest) = rest.split_at_mut(s);
+            let (d3, d4) = rest.split_at_mut(s);
+            for q in 0..s {
+                let a = x0[q];
+                let b = x1[q];
+                let c = x2[q];
+                let d = x3[q];
+                let e = x4[q];
+                let t1 = b + e;
+                let t2 = c + d;
+                let t3 = b - e;
+                let t4 = c - d;
+                let m1 = Complex::new(
+                    a.re + C51 * t1.re + C52 * t2.re,
+                    a.im + C51 * t1.im + C52 * t2.im,
+                );
+                let m2 = Complex::new(
+                    a.re + C52 * t1.re + C51 * t2.re,
+                    a.im + C52 * t1.im + C51 * t2.im,
+                );
+                // u1 = s₁t3 + s₂t4, u2 = s₂t3 − s₁t4; j = esign·i·u
+                let u1 = Complex::new(S51 * t3.re + S52 * t4.re, S51 * t3.im + S52 * t4.im);
+                let u2 = Complex::new(S52 * t3.re - S51 * t4.re, S52 * t3.im - S51 * t4.im);
+                let j1 = Complex::new(-esign * u1.im, esign * u1.re);
+                let j2 = Complex::new(-esign * u2.im, esign * u2.re);
+                d0[q] = a + t1 + t2;
+                let y1 = m1 + j1;
+                let y2 = m2 + j2;
+                let y3 = m2 - j2;
+                let y4 = m1 - j1;
+                d1[q] = Complex::new(
+                    y1.re * w1.re - y1.im * w1.im,
+                    y1.re * w1.im + y1.im * w1.re,
+                );
+                d2[q] = Complex::new(
+                    y2.re * w2.re - y2.im * w2.im,
+                    y2.re * w2.im + y2.im * w2.re,
+                );
+                d3[q] = Complex::new(
+                    y3.re * w3.re - y3.im * w3.im,
+                    y3.re * w3.im + y3.im * w3.re,
+                );
+                d4[q] = Complex::new(
+                    y4.re * w4.re - y4.im * w4.im,
+                    y4.re * w4.im + y4.im * w4.re,
+                );
+            }
+        }
+    }
+
+    /// Transform one `len`-element chunk, using `work` (also `len`
+    /// elements) as the ping-pong partner.
+    fn transform_chunk(&self, chunk: &mut [Complex<f32>], work: &mut [Complex<f32>]) {
+        let mut s = 1usize;
+        let mut in_chunk = true;
+        for stage in &self.stages {
+            let (src, dst): (&[Complex<f32>], &mut [Complex<f32>]) = if in_chunk {
+                (&*chunk, &mut *work)
+            } else {
+                (&*work, &mut *chunk)
+            };
+            match stage.radix {
+                2 => Self::stage2(src, dst, s),
+                3 => Self::stage3(src, dst, s, &stage.twiddles, self.esign),
+                4 => Self::stage4(src, dst, s, &stage.twiddles, self.esign),
+                5 => Self::stage5(src, dst, s, &stage.twiddles, self.esign),
+                r => unreachable!("unplanned radix {r}"),
+            }
+            in_chunk = !in_chunk;
+            s *= stage.radix as usize;
+        }
+        if !in_chunk {
+            chunk.copy_from_slice(work);
+        }
+    }
+}
+
+impl Fft<f32> for Stockham {
+    fn process_with_scratch(&self, buffer: &mut [Complex<f32>], scratch: &mut [Complex<f32>]) {
+        let n = self.len;
+        assert!(
+            buffer.len().is_multiple_of(n),
+            "buffer length {} is not a multiple of the FFT length {n}",
+            buffer.len()
+        );
+        assert!(
+            scratch.len() >= n,
+            "scratch too small: {} < {n}",
+            scratch.len()
+        );
+        let work = &mut scratch[..n];
+        for chunk in buffer.chunks_mut(n) {
+            self.transform_chunk(chunk, work);
+        }
+    }
+
+    fn get_inplace_scratch_len(&self) -> usize {
+        self.len
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn process(&self, buffer: &mut [Complex<f32>]) {
+        let mut scratch = vec![Complex::new(0.0, 0.0); self.get_inplace_scratch_len()];
+        self.process_with_scratch(buffer, &mut scratch);
+    }
+}

@@ -1,0 +1,42 @@
+//! Twiddle-table construction shared by both kernel families.
+//!
+//! Tables are computed in `f64` and rounded once to `f32`, so every
+//! plan of the same length and direction carries bit-identical
+//! twiddles — one of the ingredients of the engine-level determinism
+//! contract (the other being fixed stage order and chunk-independent
+//! butterflies).
+
+use num_complex::Complex;
+
+/// Per-stage Stockham table: the tuples
+/// `(w^p, w^{2p}, …, w^{(radix−1)·p})` for `p ∈ 0..n_cur/radix`, stored
+/// contiguously in inner-loop order with `w = e^{sign·2πi/n_cur}`.
+///
+/// The butterfly for output `j` of digit `p` multiplies by `w^{j·p}`,
+/// so a stage streams this table linearly — one `radix−1` tuple per
+/// `p` — instead of striding a shared full-length table.
+pub(crate) fn stage_table(n_cur: usize, radix: usize, sign: f64) -> Vec<Complex<f32>> {
+    let n1 = n_cur / radix;
+    let step = sign * 2.0 * std::f64::consts::PI / n_cur as f64;
+    let mut tw = Vec::with_capacity((radix - 1) * n1);
+    for p in 0..n1 {
+        for j in 1..radix {
+            let ang = step * (j * p) as f64;
+            tw.push(Complex::new(ang.cos() as f32, ang.sin() as f32));
+        }
+    }
+    tw
+}
+
+/// Full-length table `w^t = e^{sign·2πi·t/len}` for `t ∈ 0..len`, used
+/// by the recursive fallback (which indexes twiddles modulo `len`
+/// across all recursion depths). `len == 0` yields the 1-entry table
+/// of the degenerate length-0/1 plan.
+pub(crate) fn full_table(len: usize, sign: f64) -> Vec<Complex<f32>> {
+    (0..len.max(1))
+        .map(|t| {
+            let ang = sign * 2.0 * std::f64::consts::PI * t as f64 / len.max(1) as f64;
+            Complex::new(ang.cos() as f32, ang.sin() as f32)
+        })
+        .collect()
+}
