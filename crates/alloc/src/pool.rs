@@ -1,12 +1,14 @@
 //! Typed lock-free recycling pools for tensor buffers.
 //!
-//! This is the form of the paper's image allocator the training engine
-//! actually uses: a [`BufferPool<T>`] keeps 32 power-of-two *capacity*
-//! classes of `Vec<T>` buffers in crossbeam [`SegQueue`]s (the same
-//! Michael–Scott non-blocking queue family the paper cites). Getting a
-//! buffer pops from the class queue or allocates; returning a buffer
-//! pushes it back. Nothing is ever freed, so steady-state training does
-//! no allocation at all.
+//! A [`BufferPool<T>`] keeps 32 power-of-two *capacity* classes of
+//! `Vec<T>` buffers in crossbeam [`SegQueue`]s (the same Michael–Scott
+//! non-blocking queue family the paper cites). Getting a buffer pops
+//! from the class queue or allocates; returning a buffer pushes it
+//! back. Nothing is ever freed, so steady-state traffic does no
+//! allocation at all. The training engine reaches these pools through
+//! [`PoolSet`](crate::PoolSet), which fronts one shared `f32` chunk
+//! pool for both real and complex tensor buffers and hands out RAII
+//! leases instead of requiring explicit `put` calls.
 
 use crate::class::{class_of, size_of_class, CLASS_COUNT};
 use crate::stats::PoolStats;
@@ -45,6 +47,27 @@ impl<T: Copy + Default> BufferPool<T> {
                 let mut buf = Vec::with_capacity(size_of_class(class));
                 buf.resize(len, T::default());
                 buf
+            }
+        }
+    }
+
+    /// Like [`BufferPool::get`] but returns the buffer **empty**
+    /// (length 0, class capacity reserved): for callers that overwrite
+    /// the full length anyway — pooled tensor clones — skipping the
+    /// zero-fill halves the memory traffic. Accounted exactly like
+    /// [`BufferPool::get`].
+    pub fn get_empty(&self, len: usize) -> Vec<T> {
+        let class = class_of(len);
+        let bytes = size_of_class(class) * std::mem::size_of::<T>();
+        match self.classes[class].pop() {
+            Some(mut buf) => {
+                self.stats.record_hit(bytes);
+                buf.clear();
+                buf
+            }
+            None => {
+                self.stats.record_miss(bytes);
+                Vec::with_capacity(size_of_class(class))
             }
         }
     }

@@ -13,6 +13,7 @@ pub struct PoolStats {
     bytes_from_system: AtomicUsize,
     bytes_in_use: AtomicUsize,
     peak_bytes_in_use: AtomicUsize,
+    bytes_leased: AtomicUsize,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -24,6 +25,7 @@ impl PoolStats {
             bytes_from_system: AtomicUsize::new(0),
             bytes_in_use: AtomicUsize::new(0),
             peak_bytes_in_use: AtomicUsize::new(0),
+            bytes_leased: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         }
@@ -43,7 +45,14 @@ impl PoolStats {
     }
 
     /// Records a chunk of `bytes` going back on the pool. Saturates at
-    /// zero so donating foreign buffers to a pool is harmless.
+    /// zero, so a donated (never-leased) buffer cannot drive the
+    /// counter negative — but while other leases are live it *does*
+    /// make `bytes_in_use` under-count by the donated class size, so
+    /// accounting-exact callers must only return buffers whose lease
+    /// was recorded here (the engine's `irfft3` re-adoption checks
+    /// pool identity for exactly this reason; manual
+    /// `BufferPool::put` donations trade a little accuracy for
+    /// convenience).
     pub fn record_free(&self, bytes: usize) {
         let _ = self
             .bytes_in_use
@@ -53,6 +62,7 @@ impl PoolStats {
     }
 
     fn grow_in_use(&self, bytes: usize) {
+        self.bytes_leased.fetch_add(bytes, Ordering::Relaxed);
         let now = self.bytes_in_use.fetch_add(bytes, Ordering::Relaxed) + bytes;
         self.peak_bytes_in_use.fetch_max(now, Ordering::Relaxed);
     }
@@ -71,6 +81,15 @@ impl PoolStats {
     /// High-water mark of [`PoolStats::bytes_in_use`].
     pub fn peak_bytes_in_use(&self) -> usize {
         self.peak_bytes_in_use.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bytes handed out over the pool's lifetime (hits and
+    /// misses alike) — the **allocation churn** the pool absorbs. The
+    /// per-round delta of this counter is what the benches quote as
+    /// "bytes moved per round"; with a warm pool the same churn costs
+    /// zero system allocation.
+    pub fn bytes_leased(&self) -> usize {
+        self.bytes_leased.load(Ordering::Relaxed)
     }
 
     /// Number of requests served by recycling.

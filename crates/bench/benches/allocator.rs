@@ -1,10 +1,12 @@
 //! Allocator ablation (§VII-C): pooled power-of-two recycling vs the
-//! system allocator for image-sized buffers.
+//! system allocator for image-sized buffers — both the explicit
+//! `get`/`put` pool and the RAII `PoolSet` leases the training engine
+//! uses (storage returns on drop).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
-use znn_alloc::ImagePool;
+use znn_alloc::{ImagePool, PoolSet};
 use znn_tensor::{Tensor3, Vec3};
 
 fn bench_alloc(c: &mut Criterion) {
@@ -26,6 +28,18 @@ fn bench_alloc(c: &mut Criterion) {
             for &s in &shapes {
                 let img = pool.get(black_box(s));
                 pool.put(black_box(img));
+            }
+        })
+    });
+    let set = PoolSet::new();
+    for &s in &shapes {
+        drop(set.image(s));
+    }
+    group.bench_function("poolset_lease", |b| {
+        b.iter(|| {
+            for &s in &shapes {
+                // RAII lease: recycled on drop, no explicit put
+                black_box(set.image(black_box(s)));
             }
         })
     });

@@ -15,7 +15,7 @@
 //! tracked across PRs. `--smoke` runs one small size (CI keeps the
 //! bench bins from rotting without paying for the full sweep).
 //!
-//! Two 5-smooth sections ride along (both always recorded, so CI can
+//! Three extra sections ride along (all always recorded, so CI can
 //! assert their JSON fields):
 //!
 //! * `"smooth_kernels"` — 3D r2c forward transforms at 5-smooth
@@ -28,6 +28,11 @@
 //!   policy vs the 2^k-only `pow2_shape` baseline for a sweep of raw
 //!   extents, quoting the savings that justify preferring 5-smooth
 //!   candidates.
+//! * `"alloc"` — §VII-C pooled-allocator traffic for the per-round
+//!   buffer pattern of one FFT convolution: churn bytes moved and
+//!   allocations avoided per round, lifetime pool hit rate, and the
+//!   resident footprint (which freezes after the first rounds while
+//!   churn keeps flowing — the paper's flat-memory property).
 //!
 //! `--spawn-compare` adds the pool-reuse vs spawn-per-call sweep: the
 //! same 2-way-split r2c transform timed on the persistent worker pool
@@ -38,8 +43,10 @@
 //! `"spawn_compare"` so the trend is tracked.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
+use znn_alloc::PoolSet;
 use znn_bench::{fmt, header, row, time_per_round};
-use znn_fft::{good_shape, pow2_shape, FftEngine};
+use znn_fft::{good_shape, pow2_shape, spectra, FftEngine};
 use znn_tensor::{ops, Spectrum, Vec3};
 
 struct ThreadPoint {
@@ -255,6 +262,84 @@ fn main() {
     }
     json.push_str(&recs.join(",\n"));
     json.push_str("\n  ]");
+
+    // Allocator traffic (§VII-C): the same per-round FFT-convolution
+    // buffer pattern — two padded forward transforms, a derived flip
+    // spectrum, a spectrum product, one cropped inverse — run on a
+    // pooled engine. Round 0 is the cold footprint; from round ~2 the
+    // pool serves every lease by recycling, so churn bytes keep moving
+    // while misses and resident bytes freeze. Always recorded, so CI
+    // can assert the fields.
+    {
+        let n = if smoke { 16 } else { 48 };
+        let alloc_rounds = 6usize;
+        let pools = PoolSet::new();
+        let engine = FftEngine::with_threads(1).with_buffer_pools(Arc::clone(&pools));
+        let vol = Vec3::cube(n);
+        let k = Vec3::cube(3);
+        let m = good_shape(vol);
+        let x = ops::random(vol, 5);
+        let w = ops::random(k, 6);
+        println!("\n# alloc — pooled-allocator traffic per FFT-conv round at {n}³\n");
+        header(&[
+            "round",
+            "churn bytes",
+            "allocs avoided",
+            "misses",
+            "resident bytes",
+        ]);
+        json.push_str(",\n  \"alloc\": {\n");
+        let _ = writeln!(json, "    \"n\": {n},");
+        json.push_str("    \"rounds\": [\n");
+        let mut recs = Vec::new();
+        let mut last = (0usize, 0usize, 0usize);
+        let mut steady = (0usize, 0usize); // (churn, hits) of the last round
+        for round in 0..alloc_rounds {
+            let xs = engine.forward_padded(&x, m);
+            let ws = engine.forward_padded(&w, m);
+            let flip = spectra::flip_spectrum(&ws, k);
+            let prod = znn_tensor::ops::mul_s(&xs, &flip);
+            let out = engine.inverse_real(
+                prod,
+                k - Vec3::one(),
+                vol.valid_conv(k).expect("kernel fits"),
+            );
+            std::hint::black_box(&out);
+            drop((xs, ws, flip, out));
+            let s = pools.stats();
+            let churn = s.bytes_leased() - last.0;
+            let hits = s.hits() - last.1;
+            let misses = s.misses() - last.2;
+            last = (s.bytes_leased(), s.hits(), s.misses());
+            steady = (churn, hits);
+            row(&[
+                round.to_string(),
+                churn.to_string(),
+                hits.to_string(),
+                misses.to_string(),
+                s.bytes_from_system().to_string(),
+            ]);
+            recs.push(format!(
+                "      {{\"round\": {round}, \"churn_bytes\": {churn}, \"allocs_avoided\": {hits}, \
+                 \"misses\": {misses}, \"resident_bytes\": {}}}",
+                s.bytes_from_system()
+            ));
+        }
+        json.push_str(&recs.join(",\n"));
+        json.push_str("\n    ],\n");
+        let _ = writeln!(json, "    \"churn_bytes_round\": {},", steady.0);
+        let _ = writeln!(json, "    \"allocs_avoided_round\": {},", steady.1);
+        let _ = writeln!(json, "    \"hit_rate\": {:.4},", pools.hit_rate());
+        let _ = writeln!(json, "    \"resident_bytes\": {}", pools.resident_bytes());
+        json.push_str("  }");
+        println!(
+            "\nshape check: resident bytes freeze after the first rounds while\n\
+             churn keeps flowing — steady-state rounds recycle {} bytes with a\n\
+             {:.1}% lifetime hit rate and zero new allocation.",
+            steady.0,
+            pools.hit_rate() * 100.0
+        );
+    }
 
     if spawn_compare {
         // Pool-reuse vs spawn-per-call: identical 2-way-split r2c

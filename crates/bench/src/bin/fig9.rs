@@ -13,6 +13,15 @@ use znn_ops::Loss;
 use znn_tensor::{ops, Vec3};
 
 fn main() {
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // budget-matching: the layerwise baseline's par_iter sweeps run
+    // inside `pool.install`, so baseline and engine draw on the same
+    // number of threads in one process (no global-pool oversubscription
+    // while the ZNN engine's own workers exist)
+    let baseline_pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(workers)
+        .build()
+        .expect("baseline pool");
     let width = 3usize;
     let kernels = [3usize, 5, 7];
     let outputs = [1usize, 2, 4];
@@ -27,7 +36,7 @@ fn main() {
 
             let (g_sparse, _) = comparison_net(width, kernel, pool, true);
             let cfg = TrainConfig {
-                workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+                workers,
                 conv: ConvPolicy::ForceFft,
                 memoize_fft: true,
                 ..Default::default()
@@ -44,7 +53,9 @@ fn main() {
             let bx = ops::random(base.input_shape(), 3);
             let bt = ops::random(out_shape, 4).map(|v| 0.5 + 0.4 * v);
             let t_base = time_per_round(1, 3, || {
-                base.train_step(std::slice::from_ref(&bx), std::slice::from_ref(&bt), Loss::Mse, 0.01);
+                baseline_pool.install(|| {
+                    base.train_step(std::slice::from_ref(&bx), std::slice::from_ref(&bt), Loss::Mse, 0.01);
+                });
             });
 
             row(&[

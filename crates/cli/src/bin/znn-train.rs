@@ -4,12 +4,17 @@
 //! ```sh
 //! znn-train --spec net.znn --out 8 --rounds 50 --lr 0.01 \
 //!           [--workers N] [--fft-threads N] [--fft|--direct] \
-//!           [--no-memoize] [--stealing]
+//!           [--no-memoize] [--no-pool] [--stealing]
 //! ```
 //!
 //! `--fft-threads` caps intra-transform FFT parallelism; by default
 //! transforms share the scheduler's worker budget (idle workers donate
 //! themselves to FFT line chunks).
+//!
+//! `--no-pool` disables the §VII-C pooled allocator (hot-path buffers
+//! fall back to plain `Vec`s); by default every image/spectrum buffer
+//! leases from the process-wide recycling pool, whose hit rate and
+//! resident footprint are reported when training ends.
 //!
 //! With no `--spec`, a built-in demo spec is used.
 
@@ -40,13 +45,14 @@ struct Args {
     conv: ConvPolicy,
     memoize: bool,
     stealing: bool,
+    pool: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: znn-train [--spec FILE] [--out N] [--rounds N] [--lr F]\n\
          \t[--workers N] [--fft-threads N] [--fft|--direct]\n\
-         \t[--no-memoize] [--stealing]"
+         \t[--no-memoize] [--no-pool] [--stealing]"
     );
     std::process::exit(2)
 }
@@ -62,6 +68,7 @@ fn parse_args() -> Args {
         conv: ConvPolicy::Autotune,
         memoize: true,
         stealing: false,
+        pool: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -78,6 +85,7 @@ fn parse_args() -> Args {
             "--fft" => args.conv = ConvPolicy::ForceFft,
             "--direct" => args.conv = ConvPolicy::ForceDirect,
             "--no-memoize" => args.memoize = false,
+            "--no-pool" => args.pool = false,
             "--stealing" => args.stealing = true,
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -122,6 +130,7 @@ fn main() -> ExitCode {
         memoize_fft: args.memoize,
         work_stealing: args.stealing,
         loss: Loss::Mse,
+        pools: args.pool.then(znn_alloc::PoolSet::global),
         ..Default::default()
     };
     let out_shape = Vec3::cube(args.out);
@@ -157,5 +166,13 @@ fn main() -> ExitCode {
         stats.force_ran_inline,
         stats.force_delegated
     );
+    if args.pool {
+        println!(
+            "alloc: {:.1}% pool hit rate, {} B resident (flat after warmup), {} B churn absorbed",
+            stats.alloc_hit_rate() * 100.0,
+            stats.alloc_resident_bytes,
+            stats.alloc_leased_bytes
+        );
+    }
     ExitCode::SUCCESS
 }

@@ -1,5 +1,7 @@
 //! Engine configuration.
 
+use std::sync::Arc;
+use znn_alloc::PoolSet;
 use znn_ops::Loss;
 use znn_sched::QueuePolicy;
 
@@ -53,6 +55,14 @@ pub struct TrainConfig {
     pub dropout: Option<f32>,
     /// Seed for parameter init and dropout masks.
     pub seed: u64,
+    /// The §VII-C recycling pools every hot-path buffer is leased from:
+    /// images, half-spectra, FFT scratch, dropout masks, direct-conv
+    /// outputs. The default is the process-wide [`PoolSet::global`], so
+    /// all engines in a process share one flat footprint and
+    /// steady-state rounds allocate nothing; `None` falls back to plain
+    /// `Vec` allocation (the pre-pool behaviour, kept for ablation and
+    /// the CLI's `--no-pool`). Pooling never changes a computed bit.
+    pub pools: Option<Arc<PoolSet>>,
 }
 
 impl Default for TrainConfig {
@@ -72,6 +82,7 @@ impl Default for TrainConfig {
             loss: Loss::Mse,
             dropout: None,
             seed: 0x5EED,
+            pools: Some(PoolSet::global()),
         }
     }
 }
@@ -102,6 +113,11 @@ mod tests {
         assert!(c.dropout.is_none());
         // FFT line parallelism shares the scheduler's budget by default
         assert!(c.fft_threads.is_none());
+        // hot-path buffers lease from the process-wide pool by default
+        assert!(c
+            .pools
+            .as_ref()
+            .is_some_and(|p| Arc::ptr_eq(p, &PoolSet::global())));
     }
 
     #[test]

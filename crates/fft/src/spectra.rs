@@ -21,7 +21,9 @@
 //! loops therefore touch half the bins the c2c forms did.
 
 use crate::engine::FftEngine;
-use znn_tensor::{CImage, Complex32, Image, Spectrum, Tensor3, Vec3};
+use znn_tensor::{Complex32, Image, Spectrum, Vec3};
+#[cfg(test)]
+use znn_tensor::Tensor3;
 
 /// Derives the half-spectrum of the padded, *reflected* kernel from the
 /// half-spectrum `w_spec` of the padded kernel, given the kernel's
@@ -29,10 +31,15 @@ use znn_tensor::{CImage, Complex32, Image, Spectrum, Tensor3, Vec3};
 pub fn flip_spectrum(w_spec: &Spectrum, k: Vec3) -> Spectrum {
     let m = w_spec.full_shape();
     let two_pi = 2.0 * std::f32::consts::PI;
-    // stored z-bins are the true frequencies 0..=⌊m_z/2⌋, so the phase
-    // formula is unchanged; it just runs over half the lattice
-    let half: CImage = Tensor3::from_fn(w_spec.half().shape(), |f| {
-        let w = w_spec.half().at(f);
+    // clone-then-rotate in place: a pooled input spectrum yields a
+    // pooled output (tensor clones re-lease from their source), so this
+    // per-backward-conv derivation allocates nothing in steady state.
+    // Stored bins are the true frequencies 0..=⌊m/2⌋ along the packed
+    // axis, so the phase formula is unchanged; it just runs over half
+    // the lattice.
+    let mut out = w_spec.clone();
+    let hs = out.half().shape();
+    for (w, f) in out.half_mut().as_mut_slice().iter_mut().zip(hs.iter()) {
         let mut phase = 0.0f32;
         for a in 0..3 {
             if m[a] > 1 {
@@ -40,9 +47,9 @@ pub fn flip_spectrum(w_spec: &Spectrum, k: Vec3) -> Spectrum {
             }
         }
         let rot = Complex32::new(phase.cos(), phase.sin());
-        w.conj() * rot
-    });
-    Spectrum::new(half, m)
+        *w = w.conj() * rot;
+    }
+    out
 }
 
 /// Pointwise `x_spec ∘ conj(g_spec)` — the half-spectrum whose inverse

@@ -27,10 +27,23 @@ pub fn valid_shape(n: Vec3, k: Vec3, s: Vec3) -> Option<Vec3> {
 pub fn conv_valid(img: &Image, ker: &Image, sparsity: Vec3) -> Image {
     let n = img.shape();
     let k = ker.shape();
+    let out_shape = valid_shape(n, k, sparsity)
+        .unwrap_or_else(|| panic!("kernel {k} at sparsity {sparsity} larger than image {n}"));
+    let mut out = Tensor3::<f32>::zeros(out_shape);
+    conv_valid_into(img, ker, sparsity, &mut out);
+    out
+}
+
+/// [`conv_valid`] into a caller-provided **zero-filled** output of the
+/// valid shape — the allocation-free form used with pool-leased
+/// buffers (leases are zeroed). Panics on a wrong output shape.
+pub fn conv_valid_into(img: &Image, ker: &Image, sparsity: Vec3, out: &mut Image) {
+    let n = img.shape();
+    let k = ker.shape();
     let s = sparsity;
     let out_shape = valid_shape(n, k, s)
         .unwrap_or_else(|| panic!("kernel {k} at sparsity {s} larger than image {n}"));
-    let mut out = Tensor3::<f32>::zeros(out_shape);
+    assert_eq!(out.shape(), out_shape, "conv_valid_into output shape");
     let in_data = img.as_slice();
     let (iy_stride, ix_stride) = (n[2], n[1] * n[2]);
 
@@ -64,7 +77,6 @@ pub fn conv_valid(img: &Image, ker: &Image, sparsity: Vec3) -> Image {
             }
         }
     }
-    out
 }
 
 /// Full true convolution with per-axis sparsity: output `n + s·(k−1)`.

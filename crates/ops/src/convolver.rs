@@ -24,6 +24,13 @@ pub enum ConvMethod {
 }
 
 /// A convolution executor bound to a method and an FFT engine.
+///
+/// The convolver inherits its engine's §VII-C buffer pools: when the
+/// engine was built with `FftEngine::with_buffer_pools`, the FFT path
+/// pools through the engine itself and the direct path leases its
+/// output buffers from the same `PoolSet` — one memory budget for both
+/// methods (exactly as the autotuner times them inside the training
+/// engine).
 #[derive(Clone)]
 pub struct Convolver {
     method: ConvMethod,
@@ -31,9 +38,15 @@ pub struct Convolver {
 }
 
 impl Convolver {
-    /// Builds a convolver; the engine is shared so FFT plans are reused.
+    /// Builds a convolver; the engine is shared so FFT plans are reused
+    /// (and, when the engine is pooled, so is the buffer footprint).
     pub fn new(method: ConvMethod, engine: Arc<FftEngine>) -> Self {
         Convolver { method, engine }
+    }
+
+    /// A zero-filled output buffer, leased when the engine pools.
+    fn lease(&self, shape: Vec3) -> Image {
+        znn_alloc::lease_image(self.engine.buffer_pools(), shape)
     }
 
     /// Shorthand for a direct convolver (no FFT engine needed, but one is
@@ -55,7 +68,13 @@ impl Convolver {
     /// Valid sparse true convolution (forward pass).
     pub fn conv_valid(&self, img: &Image, ker: &Image, sparsity: Vec3) -> Image {
         match self.method {
-            ConvMethod::Direct => conv::conv_valid(img, ker, sparsity),
+            ConvMethod::Direct => {
+                let out_shape = conv::valid_shape(img.shape(), ker.shape(), sparsity)
+                    .expect("geometry must be valid");
+                let mut out = self.lease(out_shape);
+                conv::conv_valid_into(img, ker, sparsity, &mut out);
+                out
+            }
             ConvMethod::Fft => {
                 if sparsity == Vec3::one() {
                     znn_fft::fft_conv_valid(&self.engine, img, ker)

@@ -1,7 +1,7 @@
 //! Transfer functions: bias + pointwise nonlinearity (paper §II) and
 //! their Jacobians (§III-A) and bias gradients (§III-B).
 
-use znn_tensor::{Image, Tensor3};
+use znn_tensor::Image;
 
 /// The pointwise nonlinearities ZNN supports. The paper names the
 /// logistic function, hyperbolic tangent and half-wave rectification
@@ -72,22 +72,28 @@ impl Transfer {
     /// Forward pass over an image: `y = f(x + bias)` (§II, "adds a number
     /// called the bias to each voxel ... then applies a nonlinear
     /// function").
+    ///
+    /// Clone-then-apply rather than `map`: a pool-leased input yields a
+    /// pool-leased output (tensor clones re-lease from their source),
+    /// so transfer edges ride the §VII-C allocator like conv edges do.
     pub fn forward(&self, x: &Image, bias: f32) -> Image {
-        x.map(|v| self.apply(v + bias))
+        let mut y = x.clone();
+        for v in y.as_mut_slice() {
+            *v = self.apply(*v + bias);
+        }
+        y
     }
 
     /// Backward pass (§III-A): multiplies the incoming gradient by the
     /// transfer derivative, evaluated from the forward *output*.
+    ///
+    /// Clone-then-scale like [`Transfer::forward`], so a pooled
+    /// gradient yields a pooled backward image.
     pub fn backward(&self, grad: &Image, fwd_output: &Image) -> Image {
         assert_eq!(grad.shape(), fwd_output.shape(), "shape mismatch");
-        let mut out = Tensor3::<f32>::zeros(grad.shape());
-        for ((o, &g), &y) in out
-            .as_mut_slice()
-            .iter_mut()
-            .zip(grad.as_slice())
-            .zip(fwd_output.as_slice())
-        {
-            *o = g * self.derivative_from_output(y);
+        let mut out = grad.clone();
+        for (o, &y) in out.as_mut_slice().iter_mut().zip(fwd_output.as_slice()) {
+            *o *= self.derivative_from_output(y);
         }
         out
     }
@@ -105,7 +111,7 @@ impl Transfer {
 mod tests {
     use super::*;
     use znn_tensor::ops::random;
-    use znn_tensor::Vec3;
+    use znn_tensor::{Tensor3, Vec3};
 
     const ALL: [Transfer; 5] = [
         Transfer::Linear,

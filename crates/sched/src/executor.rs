@@ -67,6 +67,12 @@ pub struct SchedStats {
     /// Maximum number of distinct priorities observed at submit time
     /// (the K of the heap-of-lists bound; 0 for non-priority policies).
     pub peak_distinct_priorities: u64,
+    /// Tasks waiting in the queue at the moment of the snapshot — the
+    /// backpressure signal a caller polls to throttle submission. Zero
+    /// when the scheduler is quiescent. (For the work-stealing
+    /// executor this counts submitted-but-unfinished tasks, which also
+    /// includes tasks currently executing.)
+    pub queue_depth: u64,
 }
 
 struct Shared {
@@ -234,6 +240,7 @@ impl Scheduler for Executor {
             executed: self.shared.executed.load(Ordering::Relaxed),
             peak_queue_len: self.shared.peak_len.load(Ordering::Relaxed),
             peak_distinct_priorities: self.shared.peak_k.load(Ordering::Relaxed),
+            queue_depth: self.shared.queue.lock().len() as u64,
         }
     }
 }
@@ -386,6 +393,27 @@ mod tests {
         }
         latch.wait();
         drop(ex); // must not hang
+    }
+
+    #[test]
+    fn queue_depth_tracks_backpressure() {
+        let ex = Executor::new(1, QueuePolicy::Priority);
+        let gate = Arc::new(Latch::new(1));
+        let done = Arc::new(Latch::new(4));
+        {
+            let gate = Arc::clone(&gate);
+            ex.submit(0, Box::new(move || gate.wait()));
+        }
+        for _ in 0..4 {
+            let done = Arc::clone(&done);
+            ex.submit(1, Box::new(move || done.count_down()));
+        }
+        // the worker holds the gate task; four tasks queue behind it
+        assert!(ex.stats().queue_depth >= 4);
+        gate.count_down();
+        done.wait();
+        ex.wait_quiescent();
+        assert_eq!(ex.stats().queue_depth, 0, "depth must drain to zero");
     }
 
     #[test]

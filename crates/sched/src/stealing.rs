@@ -187,6 +187,11 @@ fn worker_loop(index: usize, pool: Arc<Pool>) {
 
 impl Scheduler for StealingExecutor {
     fn submit(&self, _priority: u64, task: Task) {
+        // count the submission BEFORE the task becomes runnable: a
+        // worker may pop and finish it instantly, and `executed` must
+        // never be observed above `submitted` (stats() relies on the
+        // subtraction being conservative for the queue-depth signal)
+        self.pool.submitted.fetch_add(1, Ordering::Release);
         // a worker of *this* pool pushes to its own deque (the classic
         // work-first rule); everyone else goes through the injector
         let mut task = Some(task);
@@ -202,15 +207,21 @@ impl Scheduler for StealingExecutor {
         if let Some(t) = task {
             self.pool.injector.push(t);
         }
-        self.pool.submitted.fetch_add(1, Ordering::Release);
         self.pool.wake.notify_all();
     }
 
     fn stats(&self) -> SchedStats {
+        // no central queue to measure: depth is submitted-but-unfinished
+        // (submit counts before the push and the load order — executed
+        // before submitted — keeps the subtraction conservative under
+        // concurrent submits)
+        let executed = self.pool.executed.load(Ordering::Acquire);
+        let submitted = self.pool.submitted.load(Ordering::Acquire);
         SchedStats {
-            executed: self.pool.executed.load(Ordering::Relaxed),
+            executed,
             peak_queue_len: 0,
             peak_distinct_priorities: 0,
+            queue_depth: submitted.saturating_sub(executed),
         }
     }
 }

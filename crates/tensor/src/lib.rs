@@ -12,7 +12,11 @@
 //! * padding / cropping / reflection / dilation helpers ([`pad`]),
 //! * elementwise kernels used on hot paths ([`ops`]),
 //! * axis line iteration used by separable sliding-window maxima
-//!   ([`lines`]).
+//!   ([`lines`]),
+//! * the pooled-storage contract ([`storage`]): tensors may lease their
+//!   buffer from a [`BufferSource`] (implemented by `znn-alloc`'s
+//!   recycling pools) and return it on drop — the §VII-C allocator
+//!   discipline, invisible to every consumer of the tensor API.
 //!
 //! Everything here is single-threaded; parallelism lives in `znn-sched`
 //! and above. The representation is deliberately simple — a `Vec<T>` plus
@@ -26,10 +30,12 @@ pub mod ops;
 pub mod pad;
 mod shape;
 mod spectrum;
+pub mod storage;
 mod tensor;
 
 pub use shape::Vec3;
 pub use spectrum::Spectrum;
+pub use storage::BufferSource;
 pub use tensor::Tensor3;
 
 /// Complex number type used by the FFT substrate.

@@ -12,12 +12,23 @@ use crate::{Tensor3, Vec3};
 /// Zero-pads `t` into a tensor of shape `to`, placing the original at
 /// offset `at`. Panics if the source does not fit.
 pub fn pad<T: Copy + Default>(t: &Tensor3<T>, to: Vec3, at: Vec3) -> Tensor3<T> {
+    let mut out = Tensor3::zeros(to);
+    pad_into(t, &mut out, at);
+    out
+}
+
+/// Copies `t` into the **already zero-filled** tensor `out` at offset
+/// `at` — the allocation-free form of [`pad`], used with buffers leased
+/// from a pool (pool leases are zeroed). Only the source box is
+/// written; voxels outside it are left untouched, so a non-zeroed `out`
+/// yields garbage padding.
+pub fn pad_into<T: Copy + Default>(t: &Tensor3<T>, out: &mut Tensor3<T>, at: Vec3) {
     let s = t.shape();
+    let to = out.shape();
     assert!(
         (s + at).le(to),
         "source {s} at offset {at} does not fit in {to}"
     );
-    let mut out = Tensor3::zeros(to);
     for x in 0..s[0] {
         for y in 0..s[1] {
             let src = t.z_line(x, y);
@@ -25,17 +36,25 @@ pub fn pad<T: Copy + Default>(t: &Tensor3<T>, to: Vec3, at: Vec3) -> Tensor3<T> 
             out.as_mut_slice()[dst_start..dst_start + s[2]].copy_from_slice(src);
         }
     }
-    out
 }
 
 /// Extracts the box of shape `shape` starting at `at`.
 pub fn crop<T: Copy + Default>(t: &Tensor3<T>, at: Vec3, shape: Vec3) -> Tensor3<T> {
+    let mut out = Tensor3::zeros(shape);
+    crop_into(t, at, &mut out);
+    out
+}
+
+/// Copies the box of `out`'s shape starting at `at` from `t` into
+/// `out` — the allocation-free form of [`crop`] for pooled buffers.
+/// Every voxel of `out` is overwritten.
+pub fn crop_into<T: Copy + Default>(t: &Tensor3<T>, at: Vec3, out: &mut Tensor3<T>) {
     let s = t.shape();
+    let shape = out.shape();
     assert!(
         (at + shape).le(s),
         "crop of {shape} at {at} exceeds source {s}"
     );
-    let mut out = Tensor3::zeros(shape);
     for x in 0..shape[0] {
         for y in 0..shape[1] {
             let src_start = s.offset(Vec3::new(x + at[0], y + at[1], at[2]));
@@ -43,7 +62,6 @@ pub fn crop<T: Copy + Default>(t: &Tensor3<T>, at: Vec3, shape: Vec3) -> Tensor3
             out.z_line_mut(x, y).copy_from_slice(src);
         }
     }
-    out
 }
 
 /// Reflects a tensor along all three axes — the kernel transform of the

@@ -1,16 +1,25 @@
+use crate::storage::{BufferSource, Storage};
 use crate::Vec3;
 use std::fmt;
 use std::ops::{Index, IndexMut};
+use std::sync::Arc;
 
 /// An owned, contiguous, row-major 3D tensor.
 ///
 /// The element type is generic so the same container backs spatial images
 /// (`Tensor3<f32>`) and frequency-domain images (`Tensor3<Complex32>`).
 /// Layout is `[x][y][z]` with `z` fastest, matching [`Vec3::offset`].
+///
+/// The backing buffer may be **leased** from a [`BufferSource`] (see
+/// [`Tensor3::leased`]): such a tensor behaves identically — same
+/// layout, same ops, [`Clone`] stays pooled — but its storage returns
+/// to the source when the tensor drops instead of being freed. That is
+/// how the training engine keeps steady-state rounds allocation-free
+/// (paper §VII-C).
 #[derive(Clone, PartialEq)]
 pub struct Tensor3<T> {
     shape: Vec3,
-    data: Vec<T>,
+    data: Storage<T>,
 }
 
 impl<T: Copy + Default> Tensor3<T> {
@@ -20,7 +29,19 @@ impl<T: Copy + Default> Tensor3<T> {
         let shape = shape.into();
         Tensor3 {
             shape,
-            data: vec![T::default(); shape.len()],
+            data: Storage::raw(vec![T::default(); shape.len()]),
+        }
+    }
+
+    /// A zero-filled tensor whose buffer is leased from `home` and
+    /// recycled there on drop. Pooling is invisible to every other
+    /// API: a leased tensor is value-equal to its [`Tensor3::zeros`]
+    /// twin, and clones lease fresh buffers from the same source.
+    pub fn leased(shape: impl Into<Vec3>, home: Arc<dyn BufferSource<T>>) -> Self {
+        let shape = shape.into();
+        Tensor3 {
+            shape,
+            data: Storage::leased(home, shape.len()),
         }
     }
 }
@@ -31,7 +52,7 @@ impl<T: Copy> Tensor3<T> {
         let shape = shape.into();
         Tensor3 {
             shape,
-            data: vec![value; shape.len()],
+            data: Storage::raw(vec![value; shape.len()]),
         }
     }
 
@@ -44,7 +65,29 @@ impl<T: Copy> Tensor3<T> {
             "buffer of {} elements cannot have shape {shape}",
             data.len()
         );
-        Tensor3 { shape, data }
+        Tensor3 {
+            shape,
+            data: Storage::raw(data),
+        }
+    }
+
+    /// Places this tensor's buffer in `home`'s custody: on drop it is
+    /// recycled there, exactly as if it had been leased. Used where a
+    /// buffer changes element type mid-pipeline (the in-place c2r
+    /// transform reinterprets a complex buffer as reals) and must
+    /// rejoin the pool under its new type.
+    pub fn with_home(self, home: Arc<dyn BufferSource<T>>) -> Self {
+        let shape = self.shape;
+        Tensor3 {
+            shape,
+            data: Storage::adopted(self.into_vec(), home),
+        }
+    }
+
+    /// The [`BufferSource`] this tensor's buffer returns to on drop, if
+    /// it is pooled.
+    pub fn home(&self) -> Option<&Arc<dyn BufferSource<T>>> {
+        self.data.home()
     }
 
     /// Builds a tensor by evaluating `f` at every coordinate.
@@ -54,7 +97,10 @@ impl<T: Copy> Tensor3<T> {
         for at in shape.iter() {
             data.push(f(at));
         }
-        Tensor3 { shape, data }
+        Tensor3 {
+            shape,
+            data: Storage::raw(data),
+        }
     }
 
     /// The tensor's shape.
@@ -78,19 +124,21 @@ impl<T: Copy> Tensor3<T> {
     /// The underlying buffer in layout order.
     #[inline]
     pub fn as_slice(&self) -> &[T] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Mutable access to the underlying buffer in layout order.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [T] {
-        &mut self.data
+        self.data.as_mut_slice()
     }
 
-    /// Consumes the tensor, returning its buffer.
+    /// Consumes the tensor, returning its buffer. A pooled buffer
+    /// leaves its source's custody (it will be freed normally unless
+    /// re-adopted with [`Tensor3::with_home`]).
     #[inline]
     pub fn into_vec(self) -> Vec<T> {
-        self.data
+        self.data.into_vec()
     }
 
     /// Voxel at `at` without bounds checks beyond debug assertions.
@@ -100,7 +148,7 @@ impl<T: Copy> Tensor3<T> {
     #[inline]
     pub fn at(&self, at: impl Into<Vec3>) -> T {
         let at = at.into();
-        self.data[self.shape.offset(at)]
+        self.data.as_slice()[self.shape.offset(at)]
     }
 
     /// Sets the voxel at `at`.
@@ -108,7 +156,7 @@ impl<T: Copy> Tensor3<T> {
     pub fn set(&mut self, at: impl Into<Vec3>, v: T) {
         let at = at.into();
         let i = self.shape.offset(at);
-        self.data[i] = v;
+        self.data.as_mut_slice()[i] = v;
     }
 
     /// The contiguous `z` line at `(x, y)` — the unit the separable
@@ -116,7 +164,7 @@ impl<T: Copy> Tensor3<T> {
     #[inline]
     pub fn z_line(&self, x: usize, y: usize) -> &[T] {
         let start = self.shape.offset(Vec3::new(x, y, 0));
-        &self.data[start..start + self.shape[2]]
+        &self.data.as_slice()[start..start + self.shape[2]]
     }
 
     /// Mutable contiguous `z` line at `(x, y)`.
@@ -124,11 +172,12 @@ impl<T: Copy> Tensor3<T> {
     pub fn z_line_mut(&mut self, x: usize, y: usize) -> &mut [T] {
         let start = self.shape.offset(Vec3::new(x, y, 0));
         let len = self.shape[2];
-        &mut self.data[start..start + len]
+        &mut self.data.as_mut_slice()[start..start + len]
     }
 
     /// Reinterprets the buffer under a new shape with the same voxel
-    /// count (e.g. collapsing a unit axis).
+    /// count (e.g. collapsing a unit axis). A pooled buffer keeps its
+    /// lease.
     pub fn reshaped(self, shape: impl Into<Vec3>) -> Self {
         let shape = shape.into();
         assert_eq!(
@@ -148,7 +197,7 @@ impl<T: Copy> Tensor3<T> {
     pub fn map<U: Copy>(&self, f: impl FnMut(T) -> U) -> Tensor3<U> {
         Tensor3 {
             shape: self.shape,
-            data: self.data.iter().copied().map(f).collect(),
+            data: Storage::raw(self.data.as_slice().iter().copied().map(f).collect()),
         }
     }
 }
@@ -157,7 +206,7 @@ impl<T: Copy> Index<Vec3> for Tensor3<T> {
     type Output = T;
     #[inline]
     fn index(&self, at: Vec3) -> &T {
-        &self.data[self.shape.offset(at)]
+        &self.data.as_slice()[self.shape.offset(at)]
     }
 }
 
@@ -165,7 +214,7 @@ impl<T: Copy> IndexMut<Vec3> for Tensor3<T> {
     #[inline]
     fn index_mut(&mut self, at: Vec3) -> &mut T {
         let i = self.shape.offset(at);
-        &mut self.data[i]
+        &mut self.data.as_mut_slice()[i]
     }
 }
 
@@ -192,8 +241,9 @@ impl Tensor3<f32> {
     pub fn max_abs_diff(&self, other: &Self) -> f32 {
         assert_eq!(self.shape, other.shape, "shape mismatch");
         self.data
+            .as_slice()
             .iter()
-            .zip(&other.data)
+            .zip(other.data.as_slice())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max)
     }
@@ -210,7 +260,7 @@ impl Tensor3<f32> {
                 pairwise(a) + pairwise(b)
             }
         }
-        pairwise(&self.data) as f32
+        pairwise(self.data.as_slice()) as f32
     }
 }
 
