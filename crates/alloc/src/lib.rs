@@ -51,6 +51,6 @@ mod stats;
 pub use class::{class_of, size_of_class, CLASS_COUNT};
 pub use global::PooledAlloc;
 pub use local::LocalCache;
-pub use pool::{BufferPool, ImagePool};
+pub use pool::{BufferPool, ClassReport, ImagePool};
 pub use set::{lease_cimage, lease_image, PoolSet};
 pub use stats::PoolStats;

@@ -13,12 +13,44 @@
 use crate::class::{class_of, size_of_class, CLASS_COUNT};
 use crate::stats::PoolStats;
 use crossbeam_queue::SegQueue;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use znn_tensor::{Tensor3, Vec3};
+
+/// One row of a per-size-class occupancy report
+/// ([`BufferPool::class_report`]): which classes a workload actually
+/// touches, how well each recycles, and how many chunks sit parked.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassReport {
+    /// Class index (chunk capacity is `2^class` elements).
+    pub class: usize,
+    /// Elements per chunk in this class.
+    pub chunk_len: usize,
+    /// Chunks currently parked (leased out ones are not counted).
+    pub parked: usize,
+    /// Leases of this class served by recycling.
+    pub hits: usize,
+    /// Leases of this class that touched the system allocator.
+    pub misses: usize,
+}
+
+impl ClassReport {
+    /// Fraction of this class's leases served by recycling.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
 
 /// A lock-free pool of `Vec<T>` buffers in power-of-two capacity classes.
 pub struct BufferPool<T> {
     classes: Vec<SegQueue<Vec<T>>>,
     stats: PoolStats,
+    class_hits: Vec<AtomicUsize>,
+    class_misses: Vec<AtomicUsize>,
 }
 
 impl<T: Copy + Default> BufferPool<T> {
@@ -27,6 +59,8 @@ impl<T: Copy + Default> BufferPool<T> {
         BufferPool {
             classes: (0..CLASS_COUNT).map(|_| SegQueue::new()).collect(),
             stats: PoolStats::new(),
+            class_hits: (0..CLASS_COUNT).map(|_| AtomicUsize::new(0)).collect(),
+            class_misses: (0..CLASS_COUNT).map(|_| AtomicUsize::new(0)).collect(),
         }
     }
 
@@ -38,12 +72,14 @@ impl<T: Copy + Default> BufferPool<T> {
         match self.classes[class].pop() {
             Some(mut buf) => {
                 self.stats.record_hit(bytes);
+                self.class_hits[class].fetch_add(1, Ordering::Relaxed);
                 buf.clear();
                 buf.resize(len, T::default());
                 buf
             }
             None => {
                 self.stats.record_miss(bytes);
+                self.class_misses[class].fetch_add(1, Ordering::Relaxed);
                 let mut buf = Vec::with_capacity(size_of_class(class));
                 buf.resize(len, T::default());
                 buf
@@ -62,14 +98,38 @@ impl<T: Copy + Default> BufferPool<T> {
         match self.classes[class].pop() {
             Some(mut buf) => {
                 self.stats.record_hit(bytes);
+                self.class_hits[class].fetch_add(1, Ordering::Relaxed);
                 buf.clear();
                 buf
             }
             None => {
                 self.stats.record_miss(bytes);
+                self.class_misses[class].fetch_add(1, Ordering::Relaxed);
                 Vec::with_capacity(size_of_class(class))
             }
         }
+    }
+
+    /// Per-class occupancy and hit-rate rows, skipping classes the
+    /// workload never touched.
+    pub fn class_report(&self) -> Vec<ClassReport> {
+        (0..CLASS_COUNT)
+            .filter_map(|class| {
+                let hits = self.class_hits[class].load(Ordering::Relaxed);
+                let misses = self.class_misses[class].load(Ordering::Relaxed);
+                let parked = self.classes[class].len();
+                if hits + misses + parked == 0 {
+                    return None;
+                }
+                Some(ClassReport {
+                    class,
+                    chunk_len: size_of_class(class),
+                    parked,
+                    hits,
+                    misses,
+                })
+            })
+            .collect()
     }
 
     /// Returns a buffer to its class pool. Buffers whose capacity is not
@@ -199,6 +259,26 @@ mod tests {
         assert_eq!(pool.stats().hits(), 0);
         drop(b);
         assert_eq!(pool.parked_in_class(4), 1);
+    }
+
+    #[test]
+    fn class_report_tracks_only_touched_classes() {
+        let pool = BufferPool::<f32>::new();
+        let a = pool.get(100); // class 7: miss
+        pool.put(a);
+        let b = pool.get(120); // class 7: hit
+        let c = pool.get(1000); // class 10: miss
+        pool.put(b);
+        pool.put(c);
+
+        let report = pool.class_report();
+        assert_eq!(report.len(), 2);
+        let c7 = report.iter().find(|r| r.class == 7).unwrap();
+        assert_eq!(c7.chunk_len, 128);
+        assert_eq!((c7.hits, c7.misses, c7.parked), (1, 1, 1));
+        assert!((c7.hit_rate() - 0.5).abs() < 1e-12);
+        let c10 = report.iter().find(|r| r.class == 10).unwrap();
+        assert_eq!((c10.hits, c10.misses, c10.parked), (0, 1, 1));
     }
 
     #[test]

@@ -36,7 +36,7 @@
 //! construction. The lease path still asserts the invariant rather than
 //! trusting it.
 
-use crate::pool::BufferPool;
+use crate::pool::{BufferPool, ClassReport};
 use crate::stats::PoolStats;
 use std::sync::{Arc, OnceLock};
 use znn_tensor::{BufferSource, Complex32, Image, Spectrum, Tensor3, Vec3};
@@ -222,6 +222,13 @@ impl PoolSet {
     /// working set has been seen (§VII-C).
     pub fn resident_bytes(&self) -> usize {
         self.stats().bytes_from_system()
+    }
+
+    /// Per-size-class occupancy and hit-rate rows for the shared chunk
+    /// pool (`--pool-report`). `chunk_len` counts `f32` units; complex
+    /// leases appear in the class of their `2 × len` real footprint.
+    pub fn class_report(&self) -> Vec<ClassReport> {
+        self.chunks.class_report()
     }
 
     /// Fraction of leases served by recycling, `0.0` on an unused pool.

@@ -4,7 +4,8 @@
 //! ```sh
 //! znn-train --spec net.znn --out 8 --rounds 50 --lr 0.01 \
 //!           [--workers N] [--fft-threads N] [--fft|--direct] \
-//!           [--no-memoize] [--no-pool] [--stealing]
+//!           [--no-memoize] [--no-pool] [--stealing] [--pool-report] \
+//!           [--checkpoint-dir D] [--checkpoint-every N] [--resume]
 //! ```
 //!
 //! `--fft-threads` caps intra-transform FFT parallelism; by default
@@ -14,13 +15,25 @@
 //! `--no-pool` disables the §VII-C pooled allocator (hot-path buffers
 //! fall back to plain `Vec`s); by default every image/spectrum buffer
 //! leases from the process-wide recycling pool, whose hit rate and
-//! resident footprint are reported when training ends.
+//! resident footprint are reported when training ends. `--pool-report`
+//! additionally dumps per-size-class occupancy and hit rates at exit.
+//!
+//! `--checkpoint-dir` enables durable checkpoints (atomic write +
+//! CRC-checked, every `--checkpoint-every` rounds, default 25) and runs
+//! training under the recoverable driver: divergence and non-finite
+//! sentinels roll back to the last good state and retry with
+//! learning-rate backoff. `--resume` restarts from the newest valid
+//! snapshot in the directory, bit-identically.
 //!
 //! With no `--spec`, a built-in demo spec is used.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use znn_cli::parse_spec;
-use znn_core::{BlobsDataset, ConvPolicy, LrSchedule, TrainConfig, Trainer, Znn};
+use znn_core::{
+    BlobsDataset, CheckpointConfig, ConvPolicy, LrSchedule, TrainConfig, TrainOutcome, Trainer,
+    Znn,
+};
 use znn_ops::Loss;
 use znn_tensor::Vec3;
 
@@ -46,13 +59,18 @@ struct Args {
     memoize: bool,
     stealing: bool,
     pool: bool,
+    pool_report: bool,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: Option<u64>,
+    resume: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: znn-train [--spec FILE] [--out N] [--rounds N] [--lr F]\n\
          \t[--workers N] [--fft-threads N] [--fft|--direct]\n\
-         \t[--no-memoize] [--no-pool] [--stealing]"
+         \t[--no-memoize] [--no-pool] [--stealing] [--pool-report]\n\
+         \t[--checkpoint-dir D] [--checkpoint-every N] [--resume]"
     );
     std::process::exit(2)
 }
@@ -69,6 +87,10 @@ fn parse_args() -> Args {
         memoize: true,
         stealing: false,
         pool: true,
+        pool_report: false,
+        checkpoint_dir: None,
+        checkpoint_every: None,
+        resume: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -87,9 +109,19 @@ fn parse_args() -> Args {
             "--no-memoize" => args.memoize = false,
             "--no-pool" => args.pool = false,
             "--stealing" => args.stealing = true,
+            "--pool-report" => args.pool_report = true,
+            "--checkpoint-dir" => args.checkpoint_dir = Some(PathBuf::from(val())),
+            "--checkpoint-every" => {
+                args.checkpoint_every = Some(val().parse().unwrap_or_else(|_| usage()))
+            }
+            "--resume" => args.resume = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
+    }
+    if args.checkpoint_dir.is_none() && (args.checkpoint_every.is_some() || args.resume) {
+        eprintln!("--checkpoint-every / --resume require --checkpoint-dir");
+        usage();
     }
     args
 }
@@ -120,6 +152,13 @@ fn main() -> ExitCode {
         graph.parameter_count()
     );
 
+    let checkpoint = args.checkpoint_dir.clone().map(|dir| {
+        let mut cc = CheckpointConfig::new(dir);
+        if let Some(every) = args.checkpoint_every {
+            cc.every = every;
+        }
+        cc
+    });
     let cfg = TrainConfig {
         workers: args.workers.unwrap_or_else(|| {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -131,6 +170,7 @@ fn main() -> ExitCode {
         work_stealing: args.stealing,
         loss: Loss::Mse,
         pools: args.pool.then(znn_alloc::PoolSet::global),
+        checkpoint,
         ..Default::default()
     };
     let out_shape = Vec3::cube(args.out);
@@ -151,13 +191,39 @@ fn main() -> ExitCode {
         seed: 42,
     };
     let mut trainer = Trainer::new(&znn, data).with_schedule(LrSchedule::Constant);
+    if args.resume {
+        match trainer.resume() {
+            Ok(Some(round)) => println!("resumed from checkpoint at round {round}"),
+            Ok(None) => println!("no valid checkpoint found; starting fresh"),
+            Err(e) => {
+                eprintln!("cannot resume: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let report_every = (args.rounds / 6).max(1);
-    trainer.run(args.rounds, report_every, |p| {
+    let report = |p: znn_core::Progress| {
         println!(
             "rounds {:>4}+: mean loss {:.4} (lr x{:.2})",
             p.round, p.mean_loss, p.lr_factor
         );
-    });
+    };
+    if args.checkpoint_dir.is_some() {
+        match trainer.run_recoverable(args.rounds, report_every, report) {
+            Ok(TrainOutcome::Completed { final_loss }) => {
+                println!("training completed, final loss {final_loss:.4}");
+            }
+            Ok(TrainOutcome::Interrupted { at_round }) => {
+                println!("training interrupted at round {at_round}");
+            }
+            Err(e) => {
+                eprintln!("training failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        trainer.run(args.rounds, report_every, report);
+    }
     let stats = znn.stats();
     println!(
         "done: {} tasks executed; FORCE done/inline/delegated = {}/{}/{}",
@@ -174,5 +240,30 @@ fn main() -> ExitCode {
             stats.alloc_leased_bytes
         );
     }
+    if args.pool_report {
+        if args.pool {
+            print_pool_report(&znn_alloc::PoolSet::global());
+        } else {
+            println!("pool report: pooling disabled (--no-pool), nothing to report");
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Dumps per-size-class occupancy/hit-rate rows of the shared chunk
+/// pool (`--pool-report`).
+fn print_pool_report(pools: &znn_alloc::PoolSet) {
+    println!("pool report (per size class, f32 units):");
+    println!("  class  chunk_len     parked       hits     misses  hit-rate");
+    for row in pools.class_report() {
+        println!(
+            "  {:>5}  {:>9}  {:>9}  {:>9}  {:>9}  {:>7.1}%",
+            row.class,
+            row.chunk_len,
+            row.parked,
+            row.hits,
+            row.misses,
+            row.hit_rate() * 100.0
+        );
+    }
 }

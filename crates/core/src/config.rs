@@ -1,9 +1,67 @@
 //! Engine configuration.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use znn_alloc::PoolSet;
+use znn_fault::FaultPlan;
 use znn_ops::Loss;
 use znn_sched::QueuePolicy;
+
+/// Where and how often training snapshots its state to disk.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Directory snapshots are written into (created if missing).
+    pub dir: PathBuf,
+    /// Write a snapshot every this many completed rounds (and always
+    /// one at the end of a run). `0` disables periodic snapshots but
+    /// keeps the final one.
+    pub every: u64,
+    /// Newest snapshots retained on disk; older ones are pruned after
+    /// each write. `0` keeps all.
+    pub keep: usize,
+}
+
+impl CheckpointConfig {
+    /// Snapshots into `dir` every 25 rounds, keeping the newest 3.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            dir: dir.into(),
+            every: 25,
+            keep: 3,
+        }
+    }
+}
+
+/// Thresholds for the health sentinels and the rollback loop
+/// (`Trainer::run_recoverable`).
+#[derive(Clone, Debug)]
+pub struct HealthPolicy {
+    /// Healthy-loss window the divergence detector compares against: a
+    /// round is divergent when its loss exceeds `divergence_factor ×`
+    /// the rolling median of the last `divergence_window` healthy
+    /// losses. `0` disables divergence detection (non-finite values
+    /// still trip the sentinels).
+    pub divergence_window: usize,
+    /// Multiple of the rolling median loss that counts as divergence.
+    pub divergence_factor: f64,
+    /// Consecutive failed rounds tolerated before training aborts with
+    /// a diagnostic.
+    pub max_retries: u32,
+    /// Learning-rate multiplier applied on each rollback (compounds
+    /// across consecutive failures, resets after a healthy round).
+    pub lr_backoff: f64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            divergence_window: 16,
+            divergence_factor: 10.0,
+            max_retries: 3,
+            lr_backoff: 0.5,
+        }
+    }
+}
 
 /// How the engine chooses between direct and FFT convolution (§IV).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -63,6 +121,16 @@ pub struct TrainConfig {
     /// `Vec` allocation (the pre-pool behaviour, kept for ablation and
     /// the CLI's `--no-pool`). Pooling never changes a computed bit.
     pub pools: Option<Arc<PoolSet>>,
+    /// Durable-checkpoint settings; `None` (the default) trains
+    /// without touching disk.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Health-sentinel thresholds for divergence detection and
+    /// rollback.
+    pub health: HealthPolicy,
+    /// Deterministic fault-injection plan (tests and the `fault_soak`
+    /// bench). `None` — the default and the production setting — costs
+    /// one pointer check per potential fault site.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for TrainConfig {
@@ -83,6 +151,9 @@ impl Default for TrainConfig {
             dropout: None,
             seed: 0x5EED,
             pools: Some(PoolSet::global()),
+            checkpoint: None,
+            health: HealthPolicy::default(),
+            faults: None,
         }
     }
 }
@@ -113,6 +184,10 @@ mod tests {
         assert!(c.dropout.is_none());
         // FFT line parallelism shares the scheduler's budget by default
         assert!(c.fft_threads.is_none());
+        // fault tolerance machinery is fully off by default
+        assert!(c.checkpoint.is_none());
+        assert!(c.faults.is_none());
+        assert!(c.health.max_retries >= 1);
         // hot-path buffers lease from the process-wide pool by default
         assert!(c
             .pools

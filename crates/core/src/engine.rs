@@ -4,8 +4,10 @@ use crate::config::{ConvPolicy, TrainConfig};
 use crate::state::{Contribution, ConvEdge, EdgeState, FreqPlan, MaxEdge, NodeState, TransferEdge};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use znn_fault::FaultKind;
 use znn_fft::{good_shape, spectra, FftEngine};
 use znn_graph::init::{bias_init, kernel_init, ParamSet};
 use znn_graph::{priority, shapes, EdgeId, EdgeOp, Graph, NodeId};
@@ -66,6 +68,13 @@ pub struct RoundStats {
     /// Cumulative bytes leased (hits and misses alike) — the allocation
     /// churn per round is the delta of this counter across rounds.
     pub alloc_leased_bytes: u64,
+    /// Tasks that panicked and were contained (engine containment plus
+    /// any raw scheduler-level catches). Nonzero means at least one
+    /// round was poisoned since construction.
+    pub task_panics: u64,
+    /// Detached fork-join spawns that panicked (recorded by the rayon
+    /// shim instead of being silently discarded).
+    pub detached_panics: u64,
 }
 
 impl RoundStats {
@@ -127,6 +136,44 @@ struct Inner {
     training: AtomicBool,
     round: AtomicU64,
     input_shape: Vec3,
+    /// Set by the first contained panic of the round; checked by the
+    /// driver after each latch wait.
+    round_failed: AtomicBool,
+    /// Panic payload of the first contained panic (diagnostics).
+    panic_note: Mutex<Option<String>>,
+    /// Engine-contained task panics since construction.
+    task_panics: AtomicU64,
+}
+
+/// A training round that was poisoned by a panicking task. By the time
+/// a caller sees this, the engine has already **recovered**: stragglers
+/// drained, pending updates flushed, partial per-round state discarded
+/// — the next round (or a retry of this one) runs on a clean engine.
+#[derive(Debug)]
+pub struct RoundError {
+    /// The 1-based round number that failed.
+    pub round: u64,
+    /// Payload of the first panic observed in the round.
+    pub note: String,
+}
+
+impl std::fmt::Display for RoundError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "training round {} poisoned: {}", self.round, self.note)
+    }
+}
+
+impl std::error::Error for RoundError {}
+
+/// Human-readable description of a panic payload.
+fn describe_panic(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// The ZNN engine: builds runtime state for a computation graph and
@@ -323,6 +370,9 @@ impl Znn {
             training: AtomicBool::new(false),
             round: AtomicU64::new(0),
             input_shape,
+            round_failed: AtomicBool::new(false),
+            panic_note: Mutex::new(None),
+            task_panics: AtomicU64::new(0),
         });
         // latches start "open" until a round arms them
         for _ in 0..outputs {
@@ -358,6 +408,13 @@ impl Znn {
     pub fn forward(&self, inputs: &[Image]) -> Vec<Image> {
         self.inner.training.store(false, Ordering::Release);
         self.run_forward(inputs);
+        if self.inner.round_failed.load(Ordering::Acquire) {
+            // inference has no Result channel; recover (so the engine
+            // stays usable) and surface the contained panic cleanly
+            // instead of hanging or returning stale outputs
+            let note = self.recover_round();
+            panic!("forward pass poisoned by a task panic: {note}");
+        }
         self.inner
             .graph
             .outputs()
@@ -373,15 +430,36 @@ impl Znn {
     /// are scheduled at the lowest priority and will be *forced* by the
     /// next round's forward pass (or by [`Znn::flush_updates`]).
     /// Returns the loss.
+    ///
+    /// Panics if a task panicked during the round (the engine is
+    /// recovered first); use [`Znn::try_train_step`] to handle that as
+    /// a value instead.
     pub fn train_step(&self, inputs: &[Image], targets: &[Image]) -> f64 {
+        match self.try_train_step(inputs, targets) {
+            Ok(loss) => loss,
+            Err(e) => panic!("unhandled {e}"),
+        }
+    }
+
+    /// One training round, with panic containment: a panicking task
+    /// *poisons the round* instead of killing its worker thread (and
+    /// eventually the process). On poison, the engine recovers itself —
+    /// stragglers drained, pending updates flushed, partial sums and
+    /// caches discarded, round counter rewound so a retry replays the
+    /// same dropout/sampling streams — and the contained panic comes
+    /// back as [`RoundError`].
+    pub fn try_train_step(&self, inputs: &[Image], targets: &[Image]) -> Result<f64, RoundError> {
         self.inner.training.store(true, Ordering::Release);
-        self.inner.round.fetch_add(1, Ordering::Relaxed);
+        let round = self.inner.round.fetch_add(1, Ordering::Relaxed) + 1;
         self.run_forward(inputs);
+        if self.inner.round_failed.load(Ordering::Acquire) {
+            return Err(self.fail_round(round));
+        }
 
         let outputs = self.inner.graph.outputs();
         assert_eq!(targets.len(), outputs.len(), "one target per output");
         let mut loss_total = 0.0;
-        let grads: Vec<(NodeId, Arc<Image>)> = outputs
+        let mut grads: Vec<(NodeId, Image)> = outputs
             .iter()
             .zip(targets)
             .map(|(&o, t)| {
@@ -390,13 +468,23 @@ impl Znn {
                     Arc::clone(img.as_ref().expect("forward completed"))
                 };
                 loss_total += self.inner.cfg.loss.value(&y, t);
-                (o, Arc::new(self.inner.cfg.loss.gradient(&y, t)))
+                (o, self.inner.cfg.loss.gradient(&y, t))
             })
             .collect();
+        // fault injection: corrupt one gradient voxel, exercising the
+        // trainer's non-finite-parameter sentinel downstream
+        if let Some(faults) = &self.inner.cfg.faults {
+            if faults.take(FaultKind::NanPoke, round) {
+                if let Some((_, g)) = grads.first_mut() {
+                    g.as_mut_slice()[0] = f32::NAN;
+                }
+            }
+        }
 
         // backward phase
         self.inner.bwd_latch.reset(self.inner.graph.inputs().len());
         for (o, g) in grads {
+            let g = Arc::new(g);
             let node = &self.inner.nodes[o.0];
             node.bwd_spectra.clear();
             *node.bwd_image.lock() = Some(Arc::clone(&g));
@@ -410,7 +498,122 @@ impl Znn {
             }
         }
         self.inner.bwd_latch.wait();
-        loss_total
+        if self.inner.round_failed.load(Ordering::Acquire) {
+            return Err(self.fail_round(round));
+        }
+        Ok(loss_total)
+    }
+
+    /// Recovery + bookkeeping for a poisoned round: restores engine
+    /// invariants and rewinds the round counter so a retry of this
+    /// round sees the same round number (dropout masks and dataset
+    /// sampling are round-seeded — replaying the stream is what makes
+    /// retries deterministic).
+    fn fail_round(&self, round: u64) -> RoundError {
+        let note = self.recover_round();
+        self.inner.round.fetch_sub(1, Ordering::Relaxed);
+        RoundError { round, note }
+    }
+
+    /// Restores every engine invariant a poisoned round can break, in
+    /// dependency order. See `docs/ARCHITECTURE.md` §Fault tolerance.
+    fn recover_round(&self) -> String {
+        let inner = &self.inner;
+        // 1. quiesce: panicked tasks were contained, healthy stragglers
+        //    run to completion against saturating latches
+        inner.sched.wait_quiescent();
+        // 2. drive every armed update handle back to Idle (next round's
+        //    backward pass must be able to arm); update bodies are
+        //    themselves contained, so forcing cannot re-panic the driver
+        self.flush_updates();
+        inner.sched.wait_quiescent();
+        // 3. discard all partial per-round state
+        for node in &inner.nodes {
+            node.fwd_sum.reset();
+            node.bwd_sum.reset();
+            node.fwd_spectra.clear();
+            node.bwd_spectra.clear();
+        }
+        for e in &inner.edges {
+            match e {
+                // a panic between a kernel write and its spectrum
+                // invalidation would leave a stale memoized transform
+                EdgeState::Conv(c) => *c.kernel_spectrum.lock() = None,
+                EdgeState::Transfer(t) => {
+                    *t.saved_output.lock() = None;
+                    *t.dropout_mask.lock() = None;
+                }
+                EdgeState::Max(m) => *m.argmax.lock() = None,
+            }
+        }
+        inner.round_failed.store(false, Ordering::Release);
+        inner
+            .panic_note
+            .lock()
+            .take()
+            .unwrap_or_else(|| "task panic (payload lost)".to_string())
+    }
+
+    /// Rounds completed since construction (or since [`Znn::set_round`]).
+    pub fn round(&self) -> u64 {
+        self.inner.round.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the round counter. Resuming from a checkpoint must
+    /// restore this alongside the parameters: the counter seeds the
+    /// per-round dropout masks, so a resumed run only reproduces an
+    /// uninterrupted one bit-for-bit if the streams line up.
+    pub fn set_round(&self, round: u64) {
+        self.inner.round.store(round, Ordering::Relaxed);
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.inner.cfg
+    }
+
+    /// Snapshot of the optimizer state: per-edge momentum velocities
+    /// (`None` for non-conv edges and before the first momentum
+    /// update). Flushes pending updates first.
+    pub fn optimizer_state(&self) -> Vec<Option<Image>> {
+        self.flush_updates();
+        self.inner
+            .edges
+            .iter()
+            .map(|e| match e {
+                EdgeState::Conv(c) => c.velocity.lock().clone(),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Restores optimizer state captured by [`Znn::optimizer_state`].
+    pub fn set_optimizer_state(&self, velocities: &[Option<Image>]) {
+        self.flush_updates();
+        assert_eq!(
+            velocities.len(),
+            self.inner.edges.len(),
+            "one velocity slot per edge"
+        );
+        for (e, v) in self.inner.edges.iter().zip(velocities) {
+            if let EdgeState::Conv(c) = e {
+                *c.velocity.lock() = v.clone();
+            }
+        }
+    }
+
+    /// True when every trainable parameter is finite — the cheap fused
+    /// health scan the trainer runs after each round (no clones; one
+    /// pass over kernels and biases in place, short-circuiting on the
+    /// first bad value). Flushes pending updates first so the scan sees
+    /// this round's writes.
+    pub fn params_all_finite(&self) -> bool {
+        self.flush_updates();
+        self.inner.edges.iter().all(|e| match e {
+            EdgeState::Conv(c) => c.kernel.lock().as_slice().iter().all(|v| v.is_finite()),
+            EdgeState::Transfer(t) => t.bias.lock().is_finite(),
+            EdgeState::Max(_) => true,
+        })
     }
 
     /// Forces every pending parameter update to completion (used before
@@ -480,6 +683,11 @@ impl Znn {
             tasks_executed: s.executed,
             peak_distinct_priorities: s.peak_distinct_priorities,
             queue_depth: s.queue_depth,
+            // engine containment catches panics before the scheduler's
+            // worker-level catch sees them, so the two counts are
+            // disjoint populations and sum cleanly
+            task_panics: self.inner.task_panics.load(Ordering::Relaxed) + s.task_panics,
+            detached_panics: s.detached_panics,
             ..Default::default()
         };
         if let Some(pools) = &self.inner.cfg.pools {
@@ -564,6 +772,27 @@ impl Znn {
 }
 
 impl Inner {
+    /// Runs `f` with panic containment: a panic is caught here — before
+    /// it can kill the executing thread — and *poisons the round*: the
+    /// first payload is recorded for diagnostics and both phase latches
+    /// are forced open so the driver returns from its wait and runs
+    /// recovery, instead of blocking forever on events the dead task
+    /// can no longer deliver.
+    fn run_contained(inner: &Arc<Inner>, f: impl FnOnce()) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+            inner.task_panics.fetch_add(1, Ordering::Relaxed);
+            {
+                let mut note = inner.panic_note.lock();
+                if note.is_none() {
+                    *note = Some(describe_panic(payload.as_ref()));
+                }
+            }
+            inner.round_failed.store(true, Ordering::Release);
+            inner.fwd_latch.open();
+            inner.bwd_latch.open();
+        }
+    }
+
     /// Algorithm 1: the forward task forces the edge's pending update,
     /// then runs DO-FORWARD.
     fn submit_forward(inner: &Arc<Inner>, e: EdgeId, input: Arc<Image>) {
@@ -572,13 +801,16 @@ impl Inner {
         inner.sched.submit(
             prio,
             Box::new(move || {
-                let inner3 = Arc::clone(&inner2);
-                let do_fwd: Box<dyn FnOnce() + Send> =
-                    Box::new(move || Inner::do_forward(&inner3, e, input));
-                match inner2.edges[e.0].update_handle() {
-                    Some(h) => h.force(do_fwd),
-                    None => do_fwd(),
-                }
+                let inner4 = Arc::clone(&inner2);
+                Inner::run_contained(&inner4, move || {
+                    let inner3 = Arc::clone(&inner2);
+                    let do_fwd: Box<dyn FnOnce() + Send> =
+                        Box::new(move || Inner::do_forward(&inner3, e, input));
+                    match inner2.edges[e.0].update_handle() {
+                        Some(h) => h.force(do_fwd),
+                        None => do_fwd(),
+                    }
+                });
             }),
         );
     }
@@ -587,6 +819,13 @@ impl Inner {
     /// node's sum, and unfold dependent tasks if this was the last
     /// contribution.
     fn do_forward(inner: &Arc<Inner>, e: EdgeId, input: Arc<Image>) {
+        // fault injection: a task that dies mid-round (the containment
+        // path every unexpected panic takes)
+        if let Some(faults) = &inner.cfg.faults {
+            if faults.take(FaultKind::TaskPanic, inner.round.load(Ordering::Relaxed)) {
+                panic!("fault-injection: task panic on edge {}", e.0);
+            }
+        }
         let edge = inner.graph.edge(e);
         let to = edge.to;
         let contribution = match &inner.edges[e.0] {
@@ -629,6 +868,15 @@ impl Inner {
     /// A zero-filled image leased from the configured pools (plain
     /// allocation when pooling is disabled).
     fn lease_image(inner: &Inner, shape: Vec3) -> Image {
+        // fault injection: a refused lease, modelled as a panic at the
+        // lease site — it exercises RAII custody of every buffer the
+        // unwinding task already holds (leaked bytes show up in
+        // PoolStats::bytes_in_use, which tests pin to zero)
+        if let Some(faults) = &inner.cfg.faults {
+            if faults.take(FaultKind::LeaseFail, inner.round.load(Ordering::Relaxed)) {
+                panic!("fault-injection: buffer lease refused for {shape}");
+            }
+        }
         znn_alloc::lease_image(inner.cfg.pools.as_ref(), shape)
     }
 
@@ -725,7 +973,10 @@ impl Inner {
         let inner2 = Arc::clone(inner);
         inner.sched.submit(
             prio,
-            Box::new(move || Inner::do_backward(&inner2, e, grad)),
+            Box::new(move || {
+                let inner3 = Arc::clone(&inner2);
+                Inner::run_contained(&inner3, move || Inner::do_backward(&inner2, e, grad));
+            }),
         );
     }
 
@@ -878,21 +1129,44 @@ impl Inner {
         let grad = Arc::clone(grad);
         let inner2 = Arc::clone(inner);
         let handle = c.update.clone();
+        // the containment sits INSIDE the armed closure: if the update
+        // work panicked out of the closure, the FORCE state machine
+        // would never run finish() and the handle would stay Executing
+        // forever — every later arm() would die on it
         handle.arm(Box::new(move || {
-            let EdgeState::Conv(c) = &inner2.edges[e.0] else {
-                unreachable!()
-            };
-            let dw = match (&x_spec, &g_spec) {
-                (Some(xs), Some(gs)) => {
-                    let corr = spectra::corr_spectrum(xs, gs);
-                    spectra::kernel_gradient_from_corr(&inner2.fft, corr, c.k, c.sparsity)
-                }
-                _ => conv::kernel_gradient(&x, &grad, c.k, c.sparsity),
-            };
-            Inner::apply_sgd(inner2.as_ref(), c, dw);
+            let inner4 = Arc::clone(&inner2);
+            Inner::run_contained(&inner4, move || {
+                let EdgeState::Conv(c) = &inner2.edges[e.0] else {
+                    unreachable!()
+                };
+                let dw = match (&x_spec, &g_spec) {
+                    (Some(xs), Some(gs)) => {
+                        let corr = spectra::corr_spectrum(xs, gs);
+                        spectra::kernel_gradient_from_corr(&inner2.fft, corr, c.k, c.sparsity)
+                    }
+                    _ => conv::kernel_gradient(&x, &grad, c.k, c.sparsity),
+                };
+                Inner::apply_sgd(inner2.as_ref(), c, dw);
+            });
         }));
-        let entry = c.update.queue_entry();
-        inner.sched.submit(UPDATE_PRIORITY, entry);
+        Inner::submit_update_entry(inner, c.update.queue_entry());
+    }
+
+    /// Queues an update's scheduler entry with panic containment. The
+    /// armed work is contained, but a *delegated* FORCE subtask (a
+    /// forward task attached while the update ran) executes inside this
+    /// entry on whichever thread finishes the update — and can unfold
+    /// the whole downstream graph inline. A panic there must poison the
+    /// round like any other task panic.
+    fn submit_update_entry(inner: &Arc<Inner>, entry: znn_sched::Task) {
+        let inner2 = Arc::clone(inner);
+        inner.sched.submit(
+            UPDATE_PRIORITY,
+            Box::new(move || {
+                let inner3 = Arc::clone(&inner2);
+                Inner::run_contained(&inner3, entry);
+            }),
+        );
     }
 
     fn apply_sgd(inner: &Inner, c: &ConvEdge, mut dw: Image) {
@@ -922,14 +1196,18 @@ impl Inner {
             unreachable!()
         };
         let handle = t.update.clone();
+        // contained inside the closure for the same reason as conv
+        // updates: finish() must always run
         handle.arm(Box::new(move || {
-            let EdgeState::Transfer(t) = &inner2.edges[e.0] else {
-                unreachable!()
-            };
-            *t.bias.lock() -= inner2.cfg.learning_rate * db;
+            let inner3 = Arc::clone(&inner2);
+            Inner::run_contained(&inner3, move || {
+                let EdgeState::Transfer(t) = &inner2.edges[e.0] else {
+                    unreachable!()
+                };
+                *t.bias.lock() -= inner2.cfg.learning_rate * db;
+            });
         }));
-        let entry = t.update.queue_entry();
-        inner.sched.submit(UPDATE_PRIORITY, entry);
+        Inner::submit_update_entry(inner, t.update.queue_entry());
     }
 
     fn finalize_backward(inner: &Arc<Inner>, u: NodeId) {

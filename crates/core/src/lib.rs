@@ -24,16 +24,26 @@
 //! dropout and multi-scale topologies (§XI extensions), SGD with
 //! momentum and weight decay, and exposes per-round scheduler and
 //! memory statistics for the paper's experiments.
+//!
+//! Training is **fault tolerant** (see `docs/ARCHITECTURE.md` §Fault
+//! tolerance): a panicking task poisons its round instead of the
+//! process ([`Znn::try_train_step`]), [`checkpoint`] persists durable
+//! CRC-checked snapshots, and [`Trainer::run_recoverable`] adds health
+//! sentinels with checkpoint rollback and learning-rate backoff. The
+//! `znn-fault` crate injects deterministic faults through
+//! [`TrainConfig::faults`] to test all of it.
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod config;
 mod data;
 mod engine;
 mod state;
 mod trainer;
 
-pub use config::{ConvPolicy, TrainConfig};
+pub use checkpoint::{latest_valid, Checkpoint, CheckpointError};
+pub use config::{CheckpointConfig, ConvPolicy, HealthPolicy, TrainConfig};
 pub use data::{BlobsDataset, Dataset, RandomDataset};
-pub use engine::{RoundStats, Znn};
-pub use trainer::{LrSchedule, Progress, Trainer};
+pub use engine::{RoundError, RoundStats, Znn};
+pub use trainer::{LrSchedule, Progress, TrainError, TrainOutcome, Trainer};

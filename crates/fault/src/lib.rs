@@ -1,0 +1,263 @@
+//! Deterministic fault injection for the training engine.
+//!
+//! The fault-tolerance layer (durable checkpoints, divergence rollback,
+//! panic containment) is only trustworthy if its recovery paths run in
+//! CI on every change. This crate turns "what if a task panics mid
+//! round" from a thought experiment into a reproducible test input: a
+//! [`FaultPlan`] is a set of *armed* faults, each naming a
+//! [`FaultKind`] and the training round it fires in. The engine and
+//! trainer query the plan at well-defined injection sites; each armed
+//! fault fires **exactly once** (an atomic claim), so a retried round
+//! replays clean and recovery is observable as a deterministic
+//! before/after.
+//!
+//! Threading is free: a plan is shared as `Arc<FaultPlan>` through
+//! `TrainConfig` and probed lock-free. When no plan is configured the
+//! injection sites cost a single `Option` branch — zero allocation,
+//! zero atomics — so production runs pay nothing.
+//!
+//! The four fault classes mirror the failure modes the recovery design
+//! must contain:
+//!
+//! * [`FaultKind::TaskPanic`] — a scheduler task panics mid-round
+//!   (exercises panic containment + round poisoning + rollback),
+//! * [`FaultKind::LeaseFail`] — a pooled buffer lease blows up
+//!   (exercises RAII lease custody under unwinding),
+//! * [`FaultKind::NanPoke`] — a non-finite value enters a gradient
+//!   (exercises the health sentinels + checkpoint rollback),
+//! * [`FaultKind::Crash`] — the process "dies" between rounds
+//!   (exercises durable checkpoints + resume).
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The classes of fault the harness can inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside a scheduler task (a forward task of the engine).
+    TaskPanic,
+    /// Panic at a pooled-buffer lease site.
+    LeaseFail,
+    /// Overwrite one gradient value with NaN (no panic; the health
+    /// sentinels must catch it downstream).
+    NanPoke,
+    /// Simulated process death between rounds: the trainer stops its
+    /// loop without any orderly shutdown of the round state, as a
+    /// `kill -9` would. Recovery is a fresh engine + `resume()`.
+    Crash,
+}
+
+impl FaultKind {
+    /// Stable lowercase name, used in diagnostics and bench JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::TaskPanic => "task_panic",
+            FaultKind::LeaseFail => "lease_fail",
+            FaultKind::NanPoke => "nan_poke",
+            FaultKind::Crash => "crash",
+        }
+    }
+}
+
+/// One armed fault: a kind, the round it fires in, and its claim flag.
+#[derive(Debug)]
+struct Arm {
+    kind: FaultKind,
+    round: u64,
+    fired: AtomicBool,
+}
+
+/// A deterministic set of armed faults, threaded through
+/// `TrainConfig::faults` and probed by the engine/trainer at their
+/// injection sites.
+///
+/// # Example
+///
+/// ```
+/// use znn_fault::{FaultKind, FaultPlan};
+///
+/// let plan = FaultPlan::new()
+///     .task_panic_at(3)
+///     .nan_poke_at(7);
+/// assert!(!plan.take(FaultKind::TaskPanic, 2)); // wrong round
+/// assert!(plan.take(FaultKind::TaskPanic, 3));  // fires
+/// assert!(!plan.take(FaultKind::TaskPanic, 3)); // exactly once
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    arms: Vec<Arm>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults). Arm it with the builder methods.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Arms a fault of `kind` for training round `round` (1-based, the
+    /// engine's round counter).
+    pub fn arm(mut self, kind: FaultKind, round: u64) -> Self {
+        self.arms.push(Arm {
+            kind,
+            round,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Arms a [`FaultKind::TaskPanic`] at `round`.
+    pub fn task_panic_at(self, round: u64) -> Self {
+        self.arm(FaultKind::TaskPanic, round)
+    }
+
+    /// Arms a [`FaultKind::LeaseFail`] at `round`.
+    pub fn lease_fail_at(self, round: u64) -> Self {
+        self.arm(FaultKind::LeaseFail, round)
+    }
+
+    /// Arms a [`FaultKind::NanPoke`] at `round`.
+    pub fn nan_poke_at(self, round: u64) -> Self {
+        self.arm(FaultKind::NanPoke, round)
+    }
+
+    /// Arms a [`FaultKind::Crash`] *after* `round` completes.
+    pub fn crash_after(self, round: u64) -> Self {
+        self.arm(FaultKind::Crash, round)
+    }
+
+    /// A seeded pseudo-random plan: `count` recoverable faults (never
+    /// `Crash`) spread over rounds `1..=rounds`. The same `(seed,
+    /// rounds, count)` always produces the same plan — what the
+    /// `fault_soak` bench uses to stress recovery reproducibly.
+    pub fn seeded(seed: u64, rounds: u64, count: usize) -> Self {
+        let kinds = [FaultKind::TaskPanic, FaultKind::LeaseFail, FaultKind::NanPoke];
+        let mut plan = FaultPlan::new();
+        for i in 0..count {
+            let r = splitmix(seed.wrapping_add(i as u64));
+            let kind = kinds[(r % 3) as usize];
+            let round = 1 + (r >> 8) % rounds.max(1);
+            plan = plan.arm(kind, round);
+        }
+        plan
+    }
+
+    /// Claims the armed fault of `kind` at `round`, if any: returns
+    /// `true` exactly once per matching arm. Injection sites call this
+    /// and fire iff it returns `true`.
+    pub fn take(&self, kind: FaultKind, round: u64) -> bool {
+        self.arms.iter().any(|a| {
+            a.kind == kind
+                && a.round == round
+                && a.fired
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+        })
+    }
+
+    /// Whether an armed (not yet fired) fault of `kind` exists at any
+    /// round — used by drivers to pre-size retry budgets.
+    pub fn pending(&self, kind: FaultKind) -> bool {
+        self.arms
+            .iter()
+            .any(|a| a.kind == kind && !a.fired.load(Ordering::Acquire))
+    }
+
+    /// Total armed faults (fired or not).
+    pub fn len(&self) -> usize {
+        self.arms.len()
+    }
+
+    /// True when the plan holds no arms at all.
+    pub fn is_empty(&self) -> bool {
+        self.arms.is_empty()
+    }
+
+    /// How many arms have fired so far.
+    pub fn fired(&self) -> usize {
+        self.arms
+            .iter()
+            .filter(|a| a.fired.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// The `(kind, round)` of every armed fault, in arm order — lets a
+    /// driver iterate the plan it is about to survive.
+    pub fn arms(&self) -> Vec<(FaultKind, u64)> {
+        self.arms.iter().map(|a| (a.kind, a.round)).collect()
+    }
+}
+
+/// SplitMix64 — the same tiny deterministic generator the tensor ops
+/// use for data, re-derived here so this crate stays dependency-free.
+fn splitmix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fires_exactly_once_at_the_armed_round() {
+        let p = FaultPlan::new().task_panic_at(4);
+        assert!(!p.take(FaultKind::TaskPanic, 3));
+        assert!(!p.take(FaultKind::NanPoke, 4));
+        assert!(p.take(FaultKind::TaskPanic, 4));
+        assert!(!p.take(FaultKind::TaskPanic, 4), "must fire exactly once");
+        assert_eq!(p.fired(), 1);
+    }
+
+    #[test]
+    fn multiple_arms_of_one_kind_fire_independently() {
+        let p = FaultPlan::new().nan_poke_at(2).nan_poke_at(5);
+        assert!(p.take(FaultKind::NanPoke, 2));
+        assert!(!p.take(FaultKind::NanPoke, 2));
+        assert!(p.take(FaultKind::NanPoke, 5));
+        assert_eq!(p.fired(), 2);
+    }
+
+    #[test]
+    fn concurrent_takers_claim_exactly_once() {
+        for _ in 0..50 {
+            let p = Arc::new(FaultPlan::new().lease_fail_at(1));
+            let claims: usize = (0..8)
+                .map(|_| {
+                    let p = Arc::clone(&p);
+                    std::thread::spawn(move || p.take(FaultKind::LeaseFail, 1))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap() as usize)
+                .sum();
+            assert_eq!(claims, 1);
+        }
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_range() {
+        let a = FaultPlan::seeded(7, 10, 5);
+        let b = FaultPlan::seeded(7, 10, 5);
+        assert_eq!(a.arms(), b.arms());
+        assert_eq!(a.len(), 5);
+        assert!(a
+            .arms()
+            .iter()
+            .all(|&(k, r)| (1..=10).contains(&r) && k != FaultKind::Crash));
+        let c = FaultPlan::seeded(8, 10, 5);
+        assert_ne!(a.arms(), c.arms(), "different seeds differ");
+    }
+
+    #[test]
+    fn pending_reflects_unfired_arms() {
+        let p = FaultPlan::new().crash_after(3);
+        assert!(p.pending(FaultKind::Crash));
+        assert!(!p.pending(FaultKind::TaskPanic));
+        assert!(p.take(FaultKind::Crash, 3));
+        assert!(!p.pending(FaultKind::Crash));
+    }
+}

@@ -73,6 +73,19 @@ pub struct SchedStats {
     /// executor this counts submitted-but-unfinished tasks, which also
     /// includes tasks currently executing.)
     pub queue_depth: u64,
+    /// Tasks that panicked while executing. Workers catch the unwind,
+    /// count it here, and keep serving — a panicking task must never
+    /// take a worker thread (and with it the whole round protocol)
+    /// down. Callers that need round-level containment (the engine)
+    /// additionally wrap their task bodies; panics caught there do not
+    /// reach this counter.
+    pub task_panics: u64,
+    /// Panics of *detached* fork-join spawns recorded by the donation
+    /// pool this executor's workers serve ([`Executor::with_donation`]).
+    /// Zero for executors without a donation pool. Surfaced here so a
+    /// silently-discarded spawn panic is visible to round statistics
+    /// and CI assertions.
+    pub detached_panics: u64,
 }
 
 struct Shared {
@@ -80,6 +93,7 @@ struct Shared {
     available: Condvar,
     shutdown: AtomicBool,
     executed: AtomicU64,
+    task_panics: AtomicU64,
     peak_len: AtomicU64,
     peak_k: AtomicU64,
     idle_workers: AtomicUsize,
@@ -154,6 +168,7 @@ impl Executor {
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             executed: AtomicU64::new(0),
+            task_panics: AtomicU64::new(0),
             peak_len: AtomicU64::new(0),
             peak_k: AtomicU64::new(0),
             idle_workers: AtomicUsize::new(0),
@@ -241,6 +256,13 @@ impl Scheduler for Executor {
             peak_queue_len: self.shared.peak_len.load(Ordering::Relaxed),
             peak_distinct_priorities: self.shared.peak_k.load(Ordering::Relaxed),
             queue_depth: self.shared.queue.lock().len() as u64,
+            task_panics: self.shared.task_panics.load(Ordering::Relaxed),
+            detached_panics: self
+                .shared
+                .donate
+                .as_ref()
+                .map(|p| p.detached_panics())
+                .unwrap_or(0),
         }
     }
 }
@@ -250,7 +272,14 @@ fn worker_loop(shared: Arc<Shared>) {
         // 1) scheduler tasks first — they carry the priorities
         let task = shared.queue.lock().pop();
         if let Some(task) = task {
-            task();
+            // contain panics at the worker: a panicking task must fail
+            // *itself*, not kill this thread — a dead worker would
+            // strand the queue, break `wait_quiescent`'s all-idle
+            // accounting, and hang every later round. The executed
+            // counter and idle notification must fire either way.
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err() {
+                shared.task_panics.fetch_add(1, Ordering::Relaxed);
+            }
             shared.executed.fetch_add(1, Ordering::Relaxed);
             shared.idle_cond.notify_all();
             continue;
@@ -414,6 +443,34 @@ mod tests {
         done.wait();
         ex.wait_quiescent();
         assert_eq!(ex.stats().queue_depth, 0, "depth must drain to zero");
+    }
+
+    #[test]
+    fn panicking_task_is_counted_and_workers_survive() {
+        let ex = Executor::new(2, QueuePolicy::Priority);
+        let done = Arc::new(Latch::new(20));
+        for i in 0..20u64 {
+            let done = Arc::clone(&done);
+            if i % 5 == 0 {
+                ex.submit(0, Box::new(move || {
+                    done.count_down();
+                    panic!("injected task panic");
+                }));
+            } else {
+                ex.submit(0, Box::new(move || done.count_down()));
+            }
+        }
+        // all 20 ran despite 4 panics — the workers survived
+        done.wait();
+        ex.wait_quiescent();
+        let stats = ex.stats();
+        assert_eq!(stats.executed, 20);
+        assert_eq!(stats.task_panics, 4, "every panic must be counted");
+        // the pool still serves tasks after the panics
+        let after = Arc::new(Latch::new(1));
+        let a2 = Arc::clone(&after);
+        ex.submit(0, Box::new(move || a2.count_down()));
+        after.wait();
     }
 
     #[test]

@@ -25,13 +25,31 @@ impl Latch {
     }
 
     /// Records one event; wakes waiters when the count reaches zero.
+    ///
+    /// Counting down an already-open latch is a no-op rather than a
+    /// panic: when a poisoned round force-opens a latch with
+    /// [`Latch::open`], healthy straggler tasks still in flight finish
+    /// afterwards and count down a latch that is already at zero —
+    /// that is legitimate, not a protocol violation.
     pub fn count_down(&self) {
         let mut c = self.count.lock();
-        assert!(*c > 0, "latch counted below zero");
+        if *c == 0 {
+            return;
+        }
         *c -= 1;
         if *c == 0 {
             self.cond.notify_all();
         }
+    }
+
+    /// Forces the latch open regardless of the remaining count, waking
+    /// every waiter. Used by the engine's panic containment: a poisoned
+    /// round can never deliver its remaining events, so the driver is
+    /// released immediately and recovery proceeds.
+    pub fn open(&self) {
+        let mut c = self.count.lock();
+        *c = 0;
+        self.cond.notify_all();
     }
 
     /// Blocks until the count reaches zero.
@@ -114,10 +132,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "below zero")]
-    fn overcounting_panics() {
+    fn overcounting_saturates_at_zero() {
+        // stragglers of a force-opened round count down an open latch
         let l = Latch::new(1);
         l.count_down();
+        l.count_down(); // no-op, not a panic
+        assert_eq!(l.remaining(), 0);
+        l.reset(2);
+        assert_eq!(l.remaining(), 2, "saturation must not break re-arming");
+    }
+
+    #[test]
+    fn open_releases_waiters_immediately() {
+        let l = Arc::new(Latch::new(5));
+        let l2 = Arc::clone(&l);
+        let waiter = std::thread::spawn(move || l2.wait());
+        std::thread::sleep(Duration::from_millis(10));
+        l.open();
+        waiter.join().unwrap();
+        assert_eq!(l.remaining(), 0);
+        // stragglers after the open are harmless
         l.count_down();
+        assert_eq!(l.remaining(), 0);
     }
 }

@@ -33,6 +33,7 @@ struct Pool {
     locals: Vec<Mutex<Worker<Task>>>,
     shutdown: AtomicBool,
     executed: AtomicU64,
+    task_panics: AtomicU64,
     submitted: AtomicU64,
     parked: Mutex<usize>,
     wake: Condvar,
@@ -91,6 +92,7 @@ impl StealingExecutor {
             locals: locals.into_iter().map(Mutex::new).collect(),
             shutdown: AtomicBool::new(false),
             executed: AtomicU64::new(0),
+            task_panics: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
             parked: Mutex::new(0),
             wake: Condvar::new(),
@@ -161,7 +163,13 @@ fn worker_loop(index: usize, pool: Arc<Pool>) {
     loop {
         match find_task(index, &pool) {
             Some(task) => {
-                task();
+                // same containment as the queue executor: a panicking
+                // task must not kill the worker, and `executed` must
+                // advance regardless or `wait_quiescent` (which spins
+                // on submitted == executed) would hang forever.
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err() {
+                    pool.task_panics.fetch_add(1, Ordering::Relaxed);
+                }
                 pool.executed.fetch_add(1, Ordering::Relaxed);
             }
             None => {
@@ -222,6 +230,13 @@ impl Scheduler for StealingExecutor {
             peak_queue_len: 0,
             peak_distinct_priorities: 0,
             queue_depth: submitted.saturating_sub(executed),
+            task_panics: self.pool.task_panics.load(Ordering::Relaxed),
+            detached_panics: self
+                .pool
+                .donate
+                .as_ref()
+                .map(|p| p.detached_panics())
+                .unwrap_or(0),
         }
     }
 }
@@ -286,6 +301,29 @@ mod tests {
         // chain of 64 tasks, each spawning the next
         ex.submit(0, Box::new(move || fan(ex2, latch2, 63)));
         latch.wait();
+    }
+
+    #[test]
+    fn panicking_task_is_counted_and_workers_survive() {
+        let ex = StealingExecutor::new(2);
+        let done = Arc::new(Latch::new(10));
+        for i in 0..10 {
+            let done = Arc::clone(&done);
+            if i % 3 == 0 {
+                ex.submit(0, Box::new(move || {
+                    done.count_down();
+                    panic!("injected stealing-task panic");
+                }));
+            } else {
+                ex.submit(0, Box::new(move || done.count_down()));
+            }
+        }
+        done.wait();
+        ex.wait_quiescent();
+        let stats = ex.stats();
+        assert_eq!(stats.executed, 10);
+        assert_eq!(stats.task_panics, 4);
+        assert_eq!(stats.queue_depth, 0, "panicked tasks still count as done");
     }
 
     #[test]

@@ -87,6 +87,19 @@ impl<T: Accumulate> ConcurrentSum<T> {
         }
     }
 
+    /// Discards any partial (or complete-but-untaken) sum and re-arms
+    /// the accumulator. This is the recovery path for a *poisoned*
+    /// round: when a contributing task panics, the sum can be left
+    /// mid-flight — some contributions parked, the completing `take`
+    /// never issued — and the next round would deadlock on it. The
+    /// caller must guarantee no contributor is still running (the
+    /// engine quiesces its scheduler first).
+    pub fn reset(&self) {
+        let mut slot = self.slot.lock();
+        slot.sum = None;
+        slot.total = 0;
+    }
+
     /// Collects the completed sum and resets the accumulator for the
     /// next round. Panics if the sum is incomplete — callers must only
     /// invoke this after [`ConcurrentSum::add`] returned `true`.
@@ -131,6 +144,24 @@ mod tests {
             assert!(s.add(round * 10));
             assert_eq!(s.take(), round * 11);
         }
+    }
+
+    #[test]
+    fn reset_discards_partial_sums() {
+        let s = ConcurrentSum::<f64>::new(3);
+        assert!(!s.add(1.0)); // a poisoned round leaves a partial sum
+        s.reset();
+        // the accumulator works normally again
+        assert!(!s.add(10.0));
+        assert!(!s.add(20.0));
+        assert!(s.add(30.0));
+        assert_eq!(s.take(), 60.0);
+        // reset after a completed-but-untaken sum also re-arms
+        assert!(!s.add(1.0));
+        assert!(!s.add(2.0));
+        assert!(s.add(3.0));
+        s.reset();
+        assert!(!s.add(5.0));
     }
 
     #[test]

@@ -81,6 +81,11 @@ thread_local! {
 
 static POOL_IDS: AtomicU64 = AtomicU64::new(0);
 
+/// Process-wide count of detached-spawn panics, across every pool (the
+/// pool a detached job belonged to may already be gone when it
+/// panics). See [`detached_panic_count`].
+static DETACHED_PANICS: AtomicU64 = AtomicU64::new(0);
+
 struct PoolState {
     id: u64,
     injector: Injector<Job>,
@@ -111,6 +116,11 @@ struct PoolState {
     sleep_cvar: Condvar,
     /// Wakers of donor threads; pruned when their owners drop them.
     wakers: Mutex<Vec<Weak<dyn Fn() + Send + Sync>>>,
+    /// Detached (`spawn`) jobs of this pool that panicked. Detached
+    /// panics must not unwind (they would kill whatever thread ran
+    /// them) but silently discarding them hides real bugs — so they
+    /// are counted here and surfaced via [`ThreadPool::detached_panics`].
+    detached_panics: AtomicU64,
 }
 
 impl PoolState {
@@ -225,16 +235,32 @@ fn run_job(state: &Arc<PoolState>, job: Job) {
 /// thread: a pool worker silently, or worse, a waiting scope owner
 /// (unwinding through `Scope::complete` would free a `Scope` whose
 /// queued jobs still point at it) or a donated scheduler worker. So
-/// the panic is caught and reported here.
-fn detached_job<F>(f: F) -> Job
+/// the panic is caught — and **recorded**, never discarded: it bumps
+/// the owning pool's counter (held weakly; the pool may be gone by the
+/// time a stolen job runs) and the process-global one, so health
+/// monitors can fail a round that lost a spawn instead of training on
+/// silently.
+fn detached_job<F>(state: &Arc<PoolState>, f: F) -> Job
 where
     F: FnOnce() + Send + 'static,
 {
+    let state = Arc::downgrade(state);
     Box::new(move || {
         if catch_unwind(AssertUnwindSafe(f)).is_err() {
-            eprintln!("rayon-shim: detached spawn task panicked; panic discarded");
+            DETACHED_PANICS.fetch_add(1, Ordering::Relaxed);
+            if let Some(state) = state.upgrade() {
+                state.detached_panics.fetch_add(1, Ordering::Relaxed);
+            }
+            eprintln!("rayon-shim: detached spawn task panicked; panic recorded");
         }
     })
+}
+
+/// Total detached-spawn panics recorded process-wide, across every
+/// pool (shim extension). Monotonic; sample before and after a region
+/// and compare to detect spawns lost inside it.
+pub fn detached_panic_count() -> u64 {
+    DETACHED_PANICS.load(Ordering::Relaxed)
 }
 
 fn worker_loop(state: Arc<PoolState>, index: usize) {
@@ -349,6 +375,7 @@ impl ThreadPool {
             sleep_lock: Mutex::new(()),
             sleep_cvar: Condvar::new(),
             wakers: Mutex::new(Vec::new()),
+            detached_panics: AtomicU64::new(0),
         })
     }
 
@@ -441,13 +468,21 @@ impl ThreadPool {
     }
 
     /// Queues a fire-and-forget task on this pool. A panic in `f` is
-    /// caught and reported to stderr — it has no scope to propagate to
-    /// and must not kill whichever thread happens to execute it.
+    /// caught — it has no scope to propagate to and must not kill
+    /// whichever thread happens to execute it — and counted, readable
+    /// via [`ThreadPool::detached_panics`].
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce() + Send + 'static,
     {
-        self.state.push_job(detached_job(f));
+        self.state.push_job(detached_job(&self.state, f));
+    }
+
+    /// Detached (`spawn`) jobs of this pool that panicked (shim
+    /// extension). Monotonic over the pool's lifetime; a nonzero delta
+    /// across a region means fire-and-forget work was lost in it.
+    pub fn detached_panics(&self) -> u64 {
+        self.state.detached_panics.load(Ordering::Relaxed)
     }
 
     /// Pops and runs one queued job on the calling thread, with this
@@ -703,12 +738,15 @@ where
     run_scope(current_state(), ScopeMode::Pooled, op)
 }
 
-/// Queues a fire-and-forget task on the current pool.
+/// Queues a fire-and-forget task on the current pool. Panics in `f`
+/// are caught and counted (see [`detached_panic_count`]).
 pub fn spawn<F>(f: F)
 where
     F: FnOnce() + Send + 'static,
 {
-    current_state().push_job(detached_job(f));
+    let state = current_state();
+    let job = detached_job(&state, f);
+    state.push_job(job);
 }
 
 /// The pre-pool scope: spawns one short-lived OS thread per task.
@@ -924,6 +962,46 @@ mod tests {
                 }
             });
         });
+    }
+
+    #[test]
+    fn detached_spawn_panics_are_counted_not_lost() {
+        let pool = ThreadPool::with_workers(2);
+        let global_before = detached_panic_count();
+        assert_eq!(pool.detached_panics(), 0);
+        let done = Arc::new(std::sync::Barrier::new(2));
+        let d = Arc::clone(&done);
+        pool.spawn(move || {
+            let _sync = DropBarrier(d); // waited even when the job unwinds
+            panic!("injected detached panic");
+        });
+        struct DropBarrier(Arc<std::sync::Barrier>);
+        impl Drop for DropBarrier {
+            fn drop(&mut self) {
+                self.0.wait();
+            }
+        }
+        done.wait();
+        // the counter bump happens after the unwind reaches the catch;
+        // poll briefly rather than racing it
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while pool.detached_panics() == 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.detached_panics(), 1, "pool-level count");
+        assert!(
+            detached_panic_count() > global_before,
+            "process-global count"
+        );
+        // the worker that ran the panicking job survived
+        let ok = Arc::new(AtomicUsize::new(0));
+        let ok2 = Arc::clone(&ok);
+        pool.scope(|s| {
+            s.spawn(move |_| {
+                ok2.fetch_add(1, Ordering::SeqCst);
+            })
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
     }
 
     #[test]
