@@ -249,8 +249,30 @@ fn main() {
             resume_s: Some(resume_s),
         });
     }
+    {
+        // recurring: the same fault class on a schedule, not a one-shot
+        // — every third round is poisoned, each poisoned round rolls
+        // back and retries, and the consecutive-failure counter resets
+        // between firings, so training survives all of them
+        let expected = (rounds / 3) as usize;
+        let plan = Arc::new(FaultPlan::new().every_n(FaultKind::TaskPanic, 3, 3));
+        let (outcome, faulted_s) = soak.timed_run(None, None, Some(Arc::clone(&plan)));
+        let survived =
+            matches!(outcome, Ok(TrainOutcome::Completed { .. })) && plan.fired() == expected;
+        records.push(FaultRecord {
+            kind: "task_panic_recurring",
+            survived,
+            clean_s,
+            faulted_s,
+            recovery_s: (faulted_s - clean_s).max(0.0),
+            resume_s: None,
+        });
+    }
     let faults_survived = records.iter().filter(|r| r.survived).count();
-    println!("\n# injected faults — one per class at round {mid} of {rounds}\n");
+    println!(
+        "\n# injected faults — one per class at round {mid} of {rounds}, \
+         plus task_panic recurring every 3 rounds\n"
+    );
     header(&["fault", "survived", "clean s", "faulted s", "recovery s"]);
     for r in &records {
         row(&[

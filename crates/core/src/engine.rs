@@ -26,7 +26,7 @@ use znn_tensor::{ops, Image, Spectrum, Tensor3, Vec3};
 /// transform of the round ([`Spectrum::packed_axis_is_even`]). The
 /// assert turns that quiet regression into an immediate, attributable
 /// panic at engine construction.
-fn transform_shape(n: Vec3) -> Vec3 {
+pub(crate) fn transform_shape(n: Vec3) -> Vec3 {
     let m = good_shape(n);
     assert!(
         Spectrum::packed_axis_is_even(m),

@@ -38,6 +38,7 @@
 pub mod checkpoint;
 mod config;
 mod data;
+pub mod dense;
 mod engine;
 mod state;
 mod trainer;
@@ -45,5 +46,6 @@ mod trainer;
 pub use checkpoint::{latest_valid, Checkpoint, CheckpointError};
 pub use config::{CheckpointConfig, ConvPolicy, HealthPolicy, TrainConfig};
 pub use data::{BlobsDataset, Dataset, RandomDataset};
+pub use dense::{BlockEvent, Cancelled, DenseConfig, DenseError, DenseNet};
 pub use engine::{RoundError, RoundStats, Znn};
 pub use trainer::{LrSchedule, Progress, TrainError, TrainOutcome, Trainer};

@@ -1,41 +1,62 @@
-//! Deterministic fault injection for the training engine.
+//! Deterministic fault injection for the training engine and the
+//! serving front end.
 //!
 //! The fault-tolerance layer (durable checkpoints, divergence rollback,
-//! panic containment) is only trustworthy if its recovery paths run in
-//! CI on every change. This crate turns "what if a task panics mid
-//! round" from a thought experiment into a reproducible test input: a
-//! [`FaultPlan`] is a set of *armed* faults, each naming a
-//! [`FaultKind`] and the training round it fires in. The engine and
-//! trainer query the plan at well-defined injection sites; each armed
-//! fault fires **exactly once** (an atomic claim), so a retried round
-//! replays clean and recovery is observable as a deterministic
+//! panic containment, overload shedding) is only trustworthy if its
+//! recovery paths run in CI on every change. This crate turns "what if
+//! a task panics mid round" from a thought experiment into a
+//! reproducible test input: a [`FaultPlan`] is a set of *armed* faults,
+//! each naming a [`FaultKind`] and a [`Schedule`] over the driver's
+//! monotone tick counter (the training-round counter for the engine,
+//! the request id for the serving path). The engine, trainer and server
+//! query the plan at well-defined injection sites; each armed fault
+//! fires **at most once per tick** (an atomic claim), so a retried
+//! round replays clean and recovery is observable as a deterministic
 //! before/after.
 //!
+//! Three schedule shapes cover the soak benches:
+//!
+//! * [`Schedule::Once`] — fire exactly once, at one tick (the original
+//!   fire-exactly-once arms of the training soak);
+//! * [`Schedule::EveryN`] — recurring: fire at `start`, `start + n`,
+//!   `start + 2n`, … (sustained-pressure soaks);
+//! * [`Schedule::Chance`] — seeded-probabilistic: at tick `t`, fire iff
+//!   a SplitMix64 hash of `(seed, t)` lands under the per-mille
+//!   threshold. The firing *set* is a pure function of the seed, so a
+//!   soak under probabilistic faults is still bit-reproducible.
+//!
 //! Threading is free: a plan is shared as `Arc<FaultPlan>` through
-//! `TrainConfig` and probed lock-free. When no plan is configured the
-//! injection sites cost a single `Option` branch — zero allocation,
-//! zero atomics — so production runs pay nothing.
+//! `TrainConfig`/`ServeConfig` and probed lock-free. When no plan is
+//! configured the injection sites cost a single `Option` branch — zero
+//! allocation, zero atomics — so production runs pay nothing.
 //!
-//! The four fault classes mirror the failure modes the recovery design
-//! must contain:
+//! The fault classes mirror the failure modes the recovery designs must
+//! contain:
 //!
-//! * [`FaultKind::TaskPanic`] — a scheduler task panics mid-round
-//!   (exercises panic containment + round poisoning + rollback),
+//! * [`FaultKind::TaskPanic`] — a scheduler task (or a serving
+//!   request's compute) panics mid-flight (exercises panic containment
+//!   + round poisoning / response poisoning),
 //! * [`FaultKind::LeaseFail`] — a pooled buffer lease blows up
 //!   (exercises RAII lease custody under unwinding),
 //! * [`FaultKind::NanPoke`] — a non-finite value enters a gradient
 //!   (exercises the health sentinels + checkpoint rollback),
 //! * [`FaultKind::Crash`] — the process "dies" between rounds
-//!   (exercises durable checkpoints + resume).
+//!   (exercises durable checkpoints + resume),
+//! * [`FaultKind::SlowTask`] — a task stalls (exercises deadline
+//!   expiry and that a slow request never blocks the batch behind it),
+//! * [`FaultKind::RejectLease`] — a pooled lease is *refused* on the
+//!   request path (exercises graceful typed rejection instead of a
+//!   panic: the server must shed the request, not die).
 
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The classes of fault the harness can inject.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultKind {
-    /// Panic inside a scheduler task (a forward task of the engine).
+    /// Panic inside a scheduler task (a forward task of the engine) or
+    /// inside a serving request's compute.
     TaskPanic,
     /// Panic at a pooled-buffer lease site.
     LeaseFail,
@@ -46,6 +67,15 @@ pub enum FaultKind {
     /// loop without any orderly shutdown of the round state, as a
     /// `kill -9` would. Recovery is a fresh engine + `resume()`.
     Crash,
+    /// A stalled task: the injection site sleeps before proceeding.
+    /// The serving path uses this to force deadline expiry mid-volume
+    /// deterministically.
+    SlowTask,
+    /// A refused pooled lease on the request path — unlike
+    /// [`FaultKind::LeaseFail`] this must *not* unwind: the server
+    /// sheds the affected request with a typed rejection and keeps
+    /// serving.
+    RejectLease,
 }
 
 impl FaultKind {
@@ -56,33 +86,83 @@ impl FaultKind {
             FaultKind::LeaseFail => "lease_fail",
             FaultKind::NanPoke => "nan_poke",
             FaultKind::Crash => "crash",
+            FaultKind::SlowTask => "slow_task",
+            FaultKind::RejectLease => "reject_lease",
         }
     }
 }
 
-/// One armed fault: a kind, the round it fires in, and its claim flag.
+/// When an armed fault fires, over the driver's monotone tick counter
+/// (training rounds for the engine, request ids for the server).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Fire exactly once, at this tick.
+    Once(u64),
+    /// Fire at `start`, `start + n`, `start + 2n`, …
+    EveryN {
+        /// First tick that fires.
+        start: u64,
+        /// Period between firings (≥ 1).
+        n: u64,
+    },
+    /// At tick `t`, fire iff `hash(seed, t) % 1000 < permille`. The
+    /// firing set is deterministic per `(seed, permille)`.
+    Chance {
+        /// Firing probability in thousandths (0–1000).
+        permille: u16,
+        /// Seed the per-tick hash is derived from.
+        seed: u64,
+    },
+}
+
+impl Schedule {
+    /// Whether this schedule matches tick `tick` (ignoring claims).
+    fn matches(&self, tick: u64) -> bool {
+        match *self {
+            Schedule::Once(at) => tick == at,
+            Schedule::EveryN { start, n } => {
+                tick >= start && (tick - start).is_multiple_of(n.max(1))
+            }
+            Schedule::Chance { permille, seed } => {
+                splitmix(seed ^ tick.wrapping_mul(0xA24B_AED4_963E_E407)) % 1000
+                    < u64::from(permille)
+            }
+        }
+    }
+}
+
+/// One armed fault: a kind, its schedule, and the claim state.
+///
+/// `claimed` holds the last tick this arm fired at (`0` = never; ticks
+/// are 1-based everywhere in the workspace). A recurring arm fires at
+/// most once per matching tick — concurrent takers race on a CAS — and
+/// a *retried* tick (the engine rewinds its round counter on rollback)
+/// replays clean, because the claim for that tick is already taken.
 #[derive(Debug)]
 struct Arm {
     kind: FaultKind,
-    round: u64,
-    fired: AtomicBool,
+    schedule: Schedule,
+    claimed: AtomicU64,
+    fired: AtomicU64,
 }
 
 /// A deterministic set of armed faults, threaded through
-/// `TrainConfig::faults` and probed by the engine/trainer at their
+/// `TrainConfig::faults` / the server config and probed by the
 /// injection sites.
 ///
 /// # Example
 ///
 /// ```
-/// use znn_fault::{FaultKind, FaultPlan};
+/// use znn_fault::{FaultKind, FaultPlan, Schedule};
 ///
 /// let plan = FaultPlan::new()
 ///     .task_panic_at(3)
-///     .nan_poke_at(7);
-/// assert!(!plan.take(FaultKind::TaskPanic, 2)); // wrong round
+///     .every_n(FaultKind::SlowTask, 2, 4); // ticks 2, 6, 10, …
+/// assert!(!plan.take(FaultKind::TaskPanic, 2)); // wrong tick
 /// assert!(plan.take(FaultKind::TaskPanic, 3));  // fires
 /// assert!(!plan.take(FaultKind::TaskPanic, 3)); // exactly once
+/// assert!(plan.take(FaultKind::SlowTask, 6));   // recurring
+/// assert!(plan.take(FaultKind::SlowTask, 10));
 /// ```
 #[derive(Debug, Default)]
 pub struct FaultPlan {
@@ -95,15 +175,37 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// Arms a fault of `kind` for training round `round` (1-based, the
-    /// engine's round counter).
-    pub fn arm(mut self, kind: FaultKind, round: u64) -> Self {
+    /// Arms a fault of `kind` under an arbitrary [`Schedule`].
+    pub fn arm_schedule(mut self, kind: FaultKind, schedule: Schedule) -> Self {
         self.arms.push(Arm {
             kind,
-            round,
-            fired: AtomicBool::new(false),
+            schedule,
+            claimed: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
         });
         self
+    }
+
+    /// Arms a fire-exactly-once fault of `kind` at tick `tick`
+    /// (1-based; the engine's round counter or the server's request
+    /// id).
+    pub fn arm(self, kind: FaultKind, tick: u64) -> Self {
+        self.arm_schedule(kind, Schedule::Once(tick))
+    }
+
+    /// Arms a recurring fault: fires at `start`, `start + n`,
+    /// `start + 2n`, …
+    pub fn every_n(self, kind: FaultKind, start: u64, n: u64) -> Self {
+        assert!(n >= 1, "period must be >= 1");
+        self.arm_schedule(kind, Schedule::EveryN { start, n })
+    }
+
+    /// Arms a seeded-probabilistic fault: at tick `t` it fires iff a
+    /// hash of `(seed, t)` lands under `permille`/1000. Deterministic
+    /// per seed.
+    pub fn chance(self, kind: FaultKind, permille: u16, seed: u64) -> Self {
+        assert!(permille <= 1000, "permille is a probability in 1/1000");
+        self.arm_schedule(kind, Schedule::Chance { permille, seed })
     }
 
     /// Arms a [`FaultKind::TaskPanic`] at `round`.
@@ -126,9 +228,9 @@ impl FaultPlan {
         self.arm(FaultKind::Crash, round)
     }
 
-    /// A seeded pseudo-random plan: `count` recoverable faults (never
-    /// `Crash`) spread over rounds `1..=rounds`. The same `(seed,
-    /// rounds, count)` always produces the same plan — what the
+    /// A seeded pseudo-random plan: `count` recoverable fire-once
+    /// faults (never `Crash`) spread over rounds `1..=rounds`. The same
+    /// `(seed, rounds, count)` always produces the same plan — what the
     /// `fault_soak` bench uses to stress recovery reproducibly.
     pub fn seeded(seed: u64, rounds: u64, count: usize) -> Self {
         let kinds = [FaultKind::TaskPanic, FaultKind::LeaseFail, FaultKind::NanPoke];
@@ -142,25 +244,46 @@ impl FaultPlan {
         plan
     }
 
-    /// Claims the armed fault of `kind` at `round`, if any: returns
-    /// `true` exactly once per matching arm. Injection sites call this
-    /// and fire iff it returns `true`.
-    pub fn take(&self, kind: FaultKind, round: u64) -> bool {
+    /// Claims the armed fault of `kind` at tick `tick`, if any: returns
+    /// `true` at most once per `(arm, tick)`. Injection sites call this
+    /// and fire iff it returns `true`. A `Once` arm never fires a
+    /// second time even at a different tick; recurring arms fire once
+    /// per matching tick (retries of a claimed tick replay clean).
+    pub fn take(&self, kind: FaultKind, tick: u64) -> bool {
+        if tick == 0 {
+            return false;
+        }
         self.arms.iter().any(|a| {
-            a.kind == kind
-                && a.round == round
-                && a.fired
-                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
-                    .is_ok()
+            if a.kind != kind || !a.schedule.matches(tick) {
+                return false;
+            }
+            if matches!(a.schedule, Schedule::Once(_))
+                && a.fired.load(Ordering::Acquire) != 0
+            {
+                return false;
+            }
+            let won = a
+                .claimed
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |last| {
+                    (last != tick).then_some(tick)
+                })
+                .is_ok();
+            if won {
+                a.fired.fetch_add(1, Ordering::AcqRel);
+            }
+            won
         })
     }
 
-    /// Whether an armed (not yet fired) fault of `kind` exists at any
-    /// round — used by drivers to pre-size retry budgets.
+    /// Whether an armed fault of `kind` can still fire at some future
+    /// tick — used by drivers to pre-size retry budgets. `Once` arms
+    /// stop pending after they fire; recurring arms always pend.
     pub fn pending(&self, kind: FaultKind) -> bool {
-        self.arms
-            .iter()
-            .any(|a| a.kind == kind && !a.fired.load(Ordering::Acquire))
+        self.arms.iter().any(|a| {
+            a.kind == kind
+                && (!matches!(a.schedule, Schedule::Once(_))
+                    || a.fired.load(Ordering::Acquire) == 0)
+        })
     }
 
     /// Total armed faults (fired or not).
@@ -173,18 +296,41 @@ impl FaultPlan {
         self.arms.is_empty()
     }
 
-    /// How many arms have fired so far.
+    /// Total firings so far, across all arms (a recurring arm counts
+    /// once per tick it fired at).
     pub fn fired(&self) -> usize {
         self.arms
             .iter()
-            .filter(|a| a.fired.load(Ordering::Acquire))
-            .count()
+            .map(|a| a.fired.load(Ordering::Acquire) as usize)
+            .sum()
     }
 
-    /// The `(kind, round)` of every armed fault, in arm order — lets a
-    /// driver iterate the plan it is about to survive.
-    pub fn arms(&self) -> Vec<(FaultKind, u64)> {
-        self.arms.iter().map(|a| (a.kind, a.round)).collect()
+    /// How many times the arms of `kind` have fired.
+    pub fn fired_of(&self, kind: FaultKind) -> usize {
+        self.arms
+            .iter()
+            .filter(|a| a.kind == kind)
+            .map(|a| a.fired.load(Ordering::Acquire) as usize)
+            .sum()
+    }
+
+    /// The `(kind, schedule)` of every armed fault, in arm order — lets
+    /// a driver iterate the plan it is about to survive.
+    pub fn arms(&self) -> Vec<(FaultKind, Schedule)> {
+        self.arms.iter().map(|a| (a.kind, a.schedule)).collect()
+    }
+
+    /// The ticks in `1..=ticks` at which an arm of `kind` would fire,
+    /// ignoring claims — the deterministic firing set a soak bench can
+    /// size its assertions against.
+    pub fn firing_ticks(&self, kind: FaultKind, ticks: u64) -> Vec<u64> {
+        (1..=ticks)
+            .filter(|&t| {
+                self.arms
+                    .iter()
+                    .any(|a| a.kind == kind && a.schedule.matches(t))
+            })
+            .collect()
     }
 }
 
@@ -244,10 +390,10 @@ mod tests {
         let b = FaultPlan::seeded(7, 10, 5);
         assert_eq!(a.arms(), b.arms());
         assert_eq!(a.len(), 5);
-        assert!(a
-            .arms()
-            .iter()
-            .all(|&(k, r)| (1..=10).contains(&r) && k != FaultKind::Crash));
+        assert!(a.arms().iter().all(|&(k, s)| {
+            k != FaultKind::Crash
+                && matches!(s, Schedule::Once(r) if (1..=10).contains(&r))
+        }));
         let c = FaultPlan::seeded(8, 10, 5);
         assert_ne!(a.arms(), c.arms(), "different seeds differ");
     }
@@ -259,5 +405,91 @@ mod tests {
         assert!(!p.pending(FaultKind::TaskPanic));
         assert!(p.take(FaultKind::Crash, 3));
         assert!(!p.pending(FaultKind::Crash));
+    }
+
+    #[test]
+    fn every_n_fires_at_the_expected_ticks_only() {
+        let p = FaultPlan::new().every_n(FaultKind::SlowTask, 3, 4);
+        let fired: Vec<u64> = (1..=16).filter(|&t| p.take(FaultKind::SlowTask, t)).collect();
+        assert_eq!(fired, vec![3, 7, 11, 15]);
+        assert_eq!(p.firing_ticks(FaultKind::SlowTask, 16), vec![3, 7, 11, 15]);
+        assert_eq!(p.fired(), 4);
+        assert_eq!(p.fired_of(FaultKind::SlowTask), 4);
+    }
+
+    #[test]
+    fn every_n_claims_once_per_tick_and_retries_replay_clean() {
+        let p = FaultPlan::new().every_n(FaultKind::TaskPanic, 2, 2);
+        assert!(p.take(FaultKind::TaskPanic, 2));
+        // a rolled-back, retried tick must not re-fire
+        assert!(!p.take(FaultKind::TaskPanic, 2));
+        assert!(p.take(FaultKind::TaskPanic, 4));
+        assert!(!p.take(FaultKind::TaskPanic, 3), "off-period tick");
+    }
+
+    #[test]
+    fn chance_is_deterministic_per_seed() {
+        let ticks = 2000;
+        let a = FaultPlan::new().chance(FaultKind::RejectLease, 100, 42);
+        let b = FaultPlan::new().chance(FaultKind::RejectLease, 100, 42);
+        let fa = a.firing_ticks(FaultKind::RejectLease, ticks);
+        let fb = b.firing_ticks(FaultKind::RejectLease, ticks);
+        assert_eq!(fa, fb, "same seed, same firing set");
+        // taking walks the identical set
+        let taken: Vec<u64> = (1..=ticks)
+            .filter(|&t| a.take(FaultKind::RejectLease, t))
+            .collect();
+        assert_eq!(taken, fa);
+        // ~10% rate, loose bounds (deterministic, so this can't flake)
+        assert!(
+            (fa.len() as f64) > 0.05 * ticks as f64
+                && (fa.len() as f64) < 0.2 * ticks as f64,
+            "100‰ fired {} of {ticks}",
+            fa.len()
+        );
+        let c = FaultPlan::new().chance(FaultKind::RejectLease, 100, 43);
+        assert_ne!(
+            c.firing_ticks(FaultKind::RejectLease, ticks),
+            fa,
+            "different seeds give different firing sets"
+        );
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let never = FaultPlan::new().chance(FaultKind::SlowTask, 0, 9);
+        let always = FaultPlan::new().chance(FaultKind::SlowTask, 1000, 9);
+        assert!(never.firing_ticks(FaultKind::SlowTask, 100).is_empty());
+        assert_eq!(always.firing_ticks(FaultKind::SlowTask, 100).len(), 100);
+        assert!(always.pending(FaultKind::SlowTask), "recurring arms always pend");
+    }
+
+    #[test]
+    fn concurrent_takers_on_a_recurring_arm_claim_once_per_tick() {
+        for _ in 0..20 {
+            let p = Arc::new(FaultPlan::new().every_n(FaultKind::SlowTask, 1, 1));
+            for tick in 1..=4 {
+                let claims: usize = (0..8)
+                    .map(|_| {
+                        let p = Arc::clone(&p);
+                        std::thread::spawn(move || p.take(FaultKind::SlowTask, tick))
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap() as usize)
+                    .sum();
+                assert_eq!(claims, 1, "tick {tick}");
+            }
+            assert_eq!(p.fired(), 4);
+        }
+    }
+
+    #[test]
+    fn tick_zero_never_fires() {
+        // 0 is the "never claimed" sentinel; a driver that has not
+        // started counting must not trip EveryN{start: 0} arms
+        let p = FaultPlan::new().every_n(FaultKind::SlowTask, 0, 1);
+        assert!(!p.take(FaultKind::SlowTask, 0));
+        assert!(p.take(FaultKind::SlowTask, 1));
     }
 }

@@ -55,6 +55,13 @@ pub trait Scheduler: Send + Sync {
     fn submit(&self, priority: u64, task: Task);
     /// Scheduler statistics snapshot.
     fn stats(&self) -> SchedStats;
+    /// Tasks waiting right now — the lock-free backpressure gauge an
+    /// admission controller polls per request ([`SchedStats::queue_depth`]
+    /// carries the same number in snapshots). Both executors override
+    /// this with an atomic read; the default goes through [`Scheduler::stats`].
+    fn queue_depth(&self) -> u64 {
+        self.stats().queue_depth
+    }
 }
 
 /// Counters describing scheduler activity.
@@ -92,6 +99,10 @@ struct Shared {
     queue: Mutex<TaskQueue<Task>>,
     available: Condvar,
     shutdown: AtomicBool,
+    /// Lock-free mirror of the queue length (incremented on submit,
+    /// decremented when a worker takes a task) so backpressure polls
+    /// never contend on the queue mutex.
+    depth: AtomicU64,
     executed: AtomicU64,
     task_panics: AtomicU64,
     peak_len: AtomicU64,
@@ -167,6 +178,7 @@ impl Executor {
             queue: Mutex::new(TaskQueue::new(policy)),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            depth: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             task_panics: AtomicU64::new(0),
             peak_len: AtomicU64::new(0),
@@ -220,6 +232,12 @@ impl Executor {
         self.shared.workers
     }
 
+    /// Tasks waiting in the queue right now, from the atomic gauge —
+    /// safe to poll per request without touching the queue lock.
+    pub fn queue_depth(&self) -> u64 {
+        self.shared.depth.load(Ordering::Acquire)
+    }
+
     /// Blocks until the queue is empty **and** every worker is idle.
     /// Only meaningful when no external thread keeps submitting.
     pub fn wait_quiescent(&self) {
@@ -243,6 +261,9 @@ impl Scheduler for Executor {
         let (len, k) = {
             let mut q = self.shared.queue.lock();
             q.push(priority, task);
+            // gauge update under the queue lock so it never drifts from
+            // the queue it mirrors (pop decrements under the same lock)
+            self.shared.depth.fetch_add(1, Ordering::Release);
             (q.len() as u64, q.distinct_priorities() as u64)
         };
         self.shared.peak_len.fetch_max(len, Ordering::Relaxed);
@@ -255,7 +276,7 @@ impl Scheduler for Executor {
             executed: self.shared.executed.load(Ordering::Relaxed),
             peak_queue_len: self.shared.peak_len.load(Ordering::Relaxed),
             peak_distinct_priorities: self.shared.peak_k.load(Ordering::Relaxed),
-            queue_depth: self.shared.queue.lock().len() as u64,
+            queue_depth: self.queue_depth(),
             task_panics: self.shared.task_panics.load(Ordering::Relaxed),
             detached_panics: self
                 .shared
@@ -270,7 +291,14 @@ impl Scheduler for Executor {
 fn worker_loop(shared: Arc<Shared>) {
     loop {
         // 1) scheduler tasks first — they carry the priorities
-        let task = shared.queue.lock().pop();
+        let task = {
+            let mut q = shared.queue.lock();
+            let t = q.pop();
+            if t.is_some() {
+                shared.depth.fetch_sub(1, Ordering::Release);
+            }
+            t
+        };
         if let Some(task) = task {
             // contain panics at the worker: a panicking task must fail
             // *itself*, not kill this thread — a dead worker would

@@ -69,6 +69,16 @@ impl StealingExecutor {
         }
     }
 
+    /// Submitted-but-unfinished tasks right now (includes tasks
+    /// currently executing — there is no central queue to measure) —
+    /// the lock-free backpressure gauge, matching
+    /// [`crate::SchedStats::queue_depth`].
+    pub fn queue_depth(&self) -> u64 {
+        let executed = self.pool.executed.load(Ordering::Acquire);
+        let submitted = self.pool.submitted.load(Ordering::Acquire);
+        submitted.saturating_sub(executed)
+    }
+
     /// Starts `workers >= 1` stealing workers.
     pub fn new(workers: usize) -> Self {
         Self::build(workers, None)
@@ -216,6 +226,10 @@ impl Scheduler for StealingExecutor {
             self.pool.injector.push(t);
         }
         self.pool.wake.notify_all();
+    }
+
+    fn queue_depth(&self) -> u64 {
+        self.queue_depth()
     }
 
     fn stats(&self) -> SchedStats {

@@ -1,0 +1,114 @@
+//! Serving counters: every robustness layer reports what it did.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters, bumped lock-free by submitters and
+/// workers.
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub submitted: AtomicU64,
+    pub admitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub shed_overload: AtomicU64,
+    pub deadline_missed: AtomicU64,
+    pub lease_refused: AtomicU64,
+    pub panicked: AtomicU64,
+    pub invalid: AtomicU64,
+    pub shutdown_rejected: AtomicU64,
+    pub degraded_batches: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn snapshot(&self, queue_depth: usize, watermark: usize) -> ServeStats {
+        ServeStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed_overload: self.shed_overload.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            lease_refused: self.lease_refused.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            invalid: self.invalid.load(Ordering::Relaxed),
+            shutdown_rejected: self.shutdown_rejected.load(Ordering::Relaxed),
+            degraded_batches: self.degraded_batches.load(Ordering::Relaxed),
+            queue_depth,
+            watermark,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the serving counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests offered to [`crate::Server::submit`].
+    pub submitted: u64,
+    /// Requests that passed admission control.
+    pub admitted: u64,
+    /// Requests answered with a dense output volume.
+    pub completed: u64,
+    /// Requests shed by admission control ([`crate::Rejected::Overloaded`]).
+    pub shed_overload: u64,
+    /// Requests cancelled at a deadline checkpoint.
+    pub deadline_missed: u64,
+    /// Requests refused a buffer lease (injected fault, shed typed).
+    pub lease_refused: u64,
+    /// Requests whose evaluation panicked (contained per request).
+    pub panicked: u64,
+    /// Requests smaller than the field of view.
+    pub invalid: u64,
+    /// Requests failed because the server was shutting down.
+    pub shutdown_rejected: u64,
+    /// Batches run at degraded (halved) batch/block size.
+    pub degraded_batches: u64,
+    /// Queue depth when the snapshot was taken — the admission-control
+    /// signal itself.
+    pub queue_depth: usize,
+    /// The effective admission watermark.
+    pub watermark: usize,
+}
+
+impl ServeStats {
+    /// Fraction of submitted requests shed by admission control — the
+    /// first-class overload metric.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.shed_overload as f64 / self.submitted as f64
+        }
+    }
+
+    /// Fraction of admitted requests that missed their deadline.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        if self.admitted == 0 {
+            0.0
+        } else {
+            self.deadline_missed as f64 / self.admitted as f64
+        }
+    }
+
+    /// A human-readable multi-line report (the serving half of the
+    /// trainer's `--pool-report` output).
+    pub fn report(&self) -> String {
+        format!(
+            "serve: submitted {}, admitted {}, completed {}\n\
+             shed: overload {} ({:.1}%), deadline {} ({:.1}%), lease {}, \
+             panicked {}, invalid {}, shutdown {}\n\
+             queue: depth {} / watermark {}, degraded batches {}\n",
+            self.submitted,
+            self.admitted,
+            self.completed,
+            self.shed_overload,
+            100.0 * self.shed_rate(),
+            self.deadline_missed,
+            100.0 * self.deadline_miss_rate(),
+            self.lease_refused,
+            self.panicked,
+            self.invalid,
+            self.shutdown_rejected,
+            self.queue_depth,
+            self.watermark,
+            self.degraded_batches,
+        )
+    }
+}

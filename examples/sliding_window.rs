@@ -4,20 +4,23 @@
 //! network evaluation per window position.
 //!
 //! This example builds both networks with *identical weights*, computes
-//! the dense output both ways, verifies they agree voxel for voxel, and
-//! times them.
+//! the dense output both ways through the shared [`znn::core::DenseNet`]
+//! library path (the same evaluator `znn-serve` workers run), verifies
+//! they agree voxel for voxel, and times them.
 //!
 //! ```sh
 //! cargo run --release --example sliding_window
 //! ```
 
+use std::ops::ControlFlow;
 use std::time::Instant;
 use znn::baseline::ReferenceNet;
+use znn::core::{DenseConfig, DenseNet};
 use znn::graph::NetBuilder;
 use znn::ops::Transfer;
-use znn::tensor::{ops, pad, Image, Tensor3, Vec3};
+use znn::tensor::{ops, pad, Tensor3, Vec3};
 
-/// A tiny max-pooling recognition net: C3 T P2 C3 T, field of view 9².
+/// A tiny max-pooling recognition net: C3 T P2 C3 T.
 fn pooling_net() -> znn::graph::Graph {
     NetBuilder::new("pool", 1)
         .conv(3, Vec3::flat(3, 3))
@@ -44,8 +47,8 @@ fn filtering_net() -> znn::graph::Graph {
 }
 
 fn main() {
-    // field of view of the pooling net: 3-1 + 2*(3-1 +1)... computed by
-    // the shape machinery: the net maps v² -> 1² for v = 9
+    // field of view of the pooling net, computed by the shape
+    // machinery: the smallest window that yields one prediction
     let fov = znn::graph::shapes::required_input_shape(&pooling_net(), Vec3::flat(1, 1)).unwrap();
     println!("pooling net field of view: {fov}");
 
@@ -67,14 +70,24 @@ fn main() {
     }
     let t_slow = t0.elapsed();
 
-    // --- fast path: the max-filtering net computes all windows at once
-    let mut fast_net = ReferenceNet::new(filtering_net(), dense_shape, 7).unwrap();
-    // same trainable parameters: the two graphs have identical edge
-    // structure, so the ParamSet carries over directly
-    *fast_net.params_mut() = slider.params().clone();
-    assert_eq!(fast_net.input_shape(), n, "filter net consumes the whole image");
+    // --- fast path: the max-filtering net computes all windows at once,
+    // through the library dense evaluator the serving stack shares.
+    // Same trainable parameters: the two graphs have identical edge
+    // structure, so the ParamSet carries over directly.
+    let dense = DenseNet::with_params(
+        filtering_net(),
+        slider.params().clone(),
+        DenseConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(
+        dense.output_shape_for(n),
+        Some(dense_shape),
+        "filter net consumes the whole image"
+    );
+    dense.warmup(n); // populate autotune + kernel-spectrum caches
     let t0 = Instant::now();
-    let fast: Image = fast_net.forward(&[image]).remove(0);
+    let fast = dense.forward(&image);
     let t_fast = t0.elapsed();
 
     let diff = slow.max_abs_diff(&fast);
@@ -87,4 +100,22 @@ fn main() {
     println!("max |sliding - sparse| = {diff:.2e}");
     assert!(diff < 1e-4, "the Fig 2 equivalence must hold");
     println!("equivalence verified: max-filter + skip kernels == sliding window");
+
+    // --- blocked evaluation: the same dense output tiled into blocks,
+    // with a cancellation checkpoint between blocks — this is how a
+    // server abandons an expired request mid-volume.
+    let blocked = dense
+        .forward_blocked(&image, Vec3::flat(6, 6), &mut |ev| {
+            println!(
+                "  block {}/{} at {} ({})",
+                ev.index + 1,
+                ev.total,
+                ev.origin,
+                ev.shape
+            );
+            ControlFlow::Continue(())
+        })
+        .unwrap();
+    assert!(blocked.max_abs_diff(&fast) < 1e-5, "blocked == whole");
+    println!("blocked evaluation matches the whole-volume pass");
 }

@@ -33,6 +33,7 @@ pub use znn_fft as fft;
 pub use znn_graph as graph;
 pub use znn_ops as ops;
 pub use znn_sched as sched;
+pub use znn_serve as serve;
 pub use znn_sim as sim;
 pub use znn_tensor as tensor;
 pub use znn_theory as theory;
