@@ -54,5 +54,40 @@ fn bench_alloc(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_alloc);
+/// Contention ablation: N threads hammer one shared `PoolSet` with
+/// lease/recycle cycles of a fixed class (the worst case for the
+/// pool's lock — every thread hits the same size-class free list).
+/// Scaling t1 → t8 exposes how much of the §VII-C win survives
+/// multi-worker training.
+fn bench_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    let shape = Vec3::cube(32);
+    const LEASES_PER_THREAD: usize = 64;
+    for threads in [1usize, 2, 4, 8] {
+        let set = PoolSet::new();
+        // warm one chunk per thread so the steady state recycles
+        let warm: Vec<_> = (0..threads).map(|_| set.image(shape)).collect();
+        drop(warm);
+        group.bench_function(format!("poolset_contended_t{threads}"), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        scope.spawn(|| {
+                            for _ in 0..LEASES_PER_THREAD {
+                                black_box(set.image(black_box(shape)));
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc, bench_contention);
 criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! 1D kernel shoot-out: iterative mixed-radix Stockham vs the
-//! recursive mixed-radix path it replaced.
+//! recursive mixed-radix path it replaced, and the SIMD-batched
+//! butterflies vs their scalar twins.
 //!
 //! The acceptance gate for the kernel rewrites: at power-of-two lengths
 //! ≥ 64 *and* at 5-smooth non-power-of-two lengths (24, 48, 60, 120,
@@ -8,6 +9,13 @@
 //! benched as *batched line transforms* (one `process_with_scratch`
 //! call over many contiguous lines, ~64k complex elements per call) —
 //! exactly how the 3D engine drives them.
+//!
+//! The `fft_kernels_simd` group isolates each butterfly radix with a
+//! length that exercises only that radix family (64 = radix-4 only,
+//! 27 = radix-3 only, 125 = radix-5 only, 128 = radix-4 + trailing-2);
+//! `simd_*` vs `scalar_*` cases share one input batch. The
+//! `pointwise_simd` group does the same for the spectrum/voxel
+//! elementwise layer (`znn-simd` dispatched vs pinned-scalar twins).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rustfft::{num_complex::Complex, Fft, FftDirection, FftPlanner};
@@ -87,5 +95,95 @@ fn bench_kernels(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_kernels);
+/// SIMD-batched butterflies vs their scalar twins, one case per radix
+/// family. On hosts without AVX2 both plans run the scalar kernels and
+/// the cases coincide — the group still runs, it just reports ~1×.
+fn bench_simd_kernels(c: &mut Criterion) {
+    let mut planner = FftPlanner::new();
+    for (label, n) in [
+        ("radix4_n64", 64usize),
+        ("radix3_n27", 27),
+        ("radix5_n125", 125),
+        ("trailing2_n128", 128),
+    ] {
+        let batch = batch_for(n);
+        bench_plan(
+            c,
+            "fft_kernels_simd",
+            format!("simd_{label}"),
+            planner.plan_fft(n, FftDirection::Forward),
+            &batch,
+        );
+        bench_plan(
+            c,
+            "fft_kernels_simd",
+            format!("scalar_{label}"),
+            planner.plan_fft_scalar(n, FftDirection::Forward),
+            &batch,
+        );
+    }
+}
+
+/// Dispatched (AVX2 where detected) vs pinned-scalar pointwise kernels
+/// over a spectrum-sized buffer: the complex product/MAC pair that
+/// dominates the §IV frequency-domain convolution, plus the real FMA
+/// row the direct convolver and SGD updates lean on.
+fn bench_pointwise(c: &mut Criterion) {
+    const N: usize = 64 * 1024;
+    let cx: Vec<Complex<f32>> = batch_for(N / 64); // 1024-long helper reuse
+    let cbase: Vec<Complex<f32>> = (0..N).map(|i| cx[i % cx.len()]).collect();
+    let fbase: Vec<f32> = cbase.iter().map(|z| z.re).collect();
+
+    let mut g = c.benchmark_group("pointwise_simd");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
+    let mut dst_c = cbase.clone();
+    g.bench_function("simd_cmul", |b| {
+        b.iter(|| {
+            dst_c.copy_from_slice(&cbase);
+            znn_simd::mul_assign_c(black_box(&mut dst_c), &cbase);
+            black_box(&dst_c);
+        })
+    });
+    g.bench_function("scalar_cmul", |b| {
+        b.iter(|| {
+            dst_c.copy_from_slice(&cbase);
+            znn_simd::scalar::mul_assign_c(black_box(&mut dst_c), &cbase);
+            black_box(&dst_c);
+        })
+    });
+    g.bench_function("simd_conj_mac", |b| {
+        b.iter(|| {
+            dst_c.copy_from_slice(&cbase);
+            znn_simd::conj_mul_add_assign_c(black_box(&mut dst_c), &cbase, &cbase);
+            black_box(&dst_c);
+        })
+    });
+    g.bench_function("scalar_conj_mac", |b| {
+        b.iter(|| {
+            dst_c.copy_from_slice(&cbase);
+            znn_simd::scalar::conj_mul_add_assign_c(black_box(&mut dst_c), &cbase, &cbase);
+            black_box(&dst_c);
+        })
+    });
+    let mut dst_f = fbase.clone();
+    g.bench_function("simd_fma_row", |b| {
+        b.iter(|| {
+            dst_f.copy_from_slice(&fbase);
+            znn_simd::fma_acc_f(black_box(&mut dst_f), 0.5, &fbase);
+            black_box(&dst_f);
+        })
+    });
+    g.bench_function("scalar_fma_row", |b| {
+        b.iter(|| {
+            dst_f.copy_from_slice(&fbase);
+            znn_simd::scalar::fma_acc_f(black_box(&mut dst_f), 0.5, &fbase);
+            black_box(&dst_f);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_simd_kernels, bench_pointwise);
 criterion_main!(benches);

@@ -33,6 +33,12 @@
 //!   allocations avoided per round, lifetime pool hit rate, and the
 //!   resident footprint (which freezes after the first rounds while
 //!   churn keeps flowing — the paper's flat-memory property).
+//! * `"simd"` — the detected ISA and the SIMD microkernel speedups:
+//!   each batched Stockham butterfly radix and each pointwise op timed
+//!   dispatched vs pinned-scalar, plus the end-to-end 64³ r2c forward
+//!   delta (`FftEngine` default vs `with_scalar_kernels()`). On hosts
+//!   without AVX2 both paths run the same code and the speedups read
+//!   ~1×; the fields are still recorded.
 //!
 //! `--spawn-compare` adds the pool-reuse vs spawn-per-call sweep: the
 //! same 2-way-split r2c transform timed on the persistent worker pool
@@ -400,6 +406,266 @@ fn main() {
             .collect();
         json.push_str(&recs.join(",\n"));
         json.push_str("\n  ]");
+    }
+
+    // SIMD microkernels: the dispatched vector kernels vs two
+    // baselines — true scalar arithmetic (`scalar_s`, the speedup
+    // denominator) and the auto-vectorized portable twins
+    // (`autovec_s`, the code `ZNN_FORCE_SCALAR` runs) — per butterfly
+    // radix family and per pointwise op, then the end-to-end 64³ r2c
+    // forward delta. Always recorded so CI can assert the fields; the
+    // per-kernel pins are this PR's acceptance numbers.
+    {
+        use rustfft::{num_complex::Complex, Fft, FftDirection, FftPlanner};
+
+        fn time_plan(plan: &Arc<dyn Fft<f32>>, base: &[Complex<f32>]) -> f64 {
+            let mut buf = base.to_vec();
+            let mut scratch = vec![Complex::new(0.0f32, 0.0); plan.get_inplace_scratch_len()];
+            // best of 4 short rounds, same rationale as the pointwise
+            // duel: the min is the only stable estimator on a
+            // steal-prone single-vCPU host
+            (0..4)
+                .map(|_| {
+                    time_per_round(1, 2, || {
+                        buf.copy_from_slice(base);
+                        plan.process_with_scratch(std::hint::black_box(&mut buf), &mut scratch);
+                        std::hint::black_box(&buf);
+                    })
+                })
+                .fold(f64::INFINITY, f64::min)
+        }
+
+        fn push_kernel(
+            name: &str,
+            scalar_s: f64,
+            autovec_s: f64,
+            simd_s: f64,
+            recs: &mut Vec<String>,
+        ) {
+            row(&[
+                name.to_string(),
+                fmt(scalar_s),
+                fmt(autovec_s),
+                fmt(simd_s),
+                format!("{:.2}x", scalar_s / simd_s),
+                format!("{:.2}x", autovec_s / simd_s),
+            ]);
+            recs.push(format!(
+                "      {{\"kernel\": \"{name}\", \"scalar_s\": {scalar_s:.6e}, \
+                 \"autovec_s\": {autovec_s:.6e}, \"simd_s\": {simd_s:.6e}, \
+                 \"speedup\": {:.2}, \"autovec_speedup\": {:.2}}}",
+                scalar_s / simd_s,
+                autovec_s / simd_s
+            ));
+        }
+
+        println!(
+            "\n# simd — microkernels ({}) vs scalar arithmetic and the\n\
+             # auto-vectorized portable twins (the `ZNN_FORCE_SCALAR` path)\n",
+            znn_simd::isa_name()
+        );
+        header(&[
+            "kernel",
+            "scalar s",
+            "autovec s",
+            "simd s",
+            "vs scalar",
+            "vs autovec",
+        ]);
+        json.push_str(",\n  \"simd\": {\n");
+        let _ = writeln!(json, "    \"isa\": \"{}\",", znn_simd::isa_name());
+        let _ = writeln!(json, "    \"forced_scalar\": {},", znn_simd::forced_scalar());
+        json.push_str("    \"kernels\": [\n");
+        let mut recs = Vec::new();
+
+        // one length per radix family, batched to ~64k elements per
+        // call exactly like the 3D engine drives the line plans
+        let mut planner = FftPlanner::new();
+        for (label, n) in [
+            ("radix4_n64", 64usize),
+            ("radix3_n27", 27),
+            ("radix5_n125", 125),
+            ("trailing2_n128", 128),
+        ] {
+            let lines = (64 * 1024 / n).max(8);
+            let base: Vec<Complex<f32>> = (0..lines * n)
+                .map(|i| {
+                    Complex::new(
+                        ops::splitmix_f32(8, i as u64),
+                        ops::splitmix_f32(9, i as u64),
+                    )
+                })
+                .collect();
+            let simd_plan = planner.plan_fft(n, FftDirection::Forward);
+            let scalar_plan = planner.plan_fft_scalar(n, FftDirection::Forward);
+            // the scalar butterflies are genuinely one-lane (their
+            // dataflow defeats the auto-vectorizer), so the scalar and
+            // autovec baselines coincide for the radix rows
+            let t_scalar = time_plan(&scalar_plan, &base);
+            let t_simd = time_plan(&simd_plan, &base);
+            push_kernel(label, t_scalar, t_scalar, t_simd, &mut recs);
+        }
+
+        // The pointwise layer, measured compute-bound: an L1-resident
+        // working set (1024 complexes = 8 KiB per stream) with K
+        // in-place applications per timed round, so the numbers isolate
+        // the kernel's ALU throughput rather than DRAM bandwidth (a
+        // spectrum-sized streaming sweep reads ~1x for every kernel —
+        // both sides sit at the same memory wall). The multiplier is
+        // unit-magnitude (e^{iθ}), so repeated in-place products
+        // neither decay into denormals nor overflow; the MAC/FMA
+        // accumulants grow only linearly in K.
+        const PW_N: usize = 1024;
+        const PW_K: usize = 256;
+        let unit: Vec<Complex<f32>> = (0..PW_N)
+            .map(|i| {
+                let theta = std::f32::consts::PI * ops::splitmix_f32(10, i as u64);
+                Complex::new(theta.cos(), theta.sin())
+            })
+            .collect();
+        let seed_c: Vec<Complex<f32>> = (0..PW_N)
+            .map(|i| {
+                Complex::new(
+                    ops::splitmix_f32(11, i as u64),
+                    ops::splitmix_f32(12, i as u64),
+                )
+            })
+            .collect();
+        let seed_f: Vec<f32> = seed_c.iter().map(|z| z.re).collect();
+
+        // True one-lane scalar baselines for the `scalar s` column.
+        // The portable twins in `znn_simd::scalar` are straight-line
+        // loops that LLVM auto-vectorizes to SSE2 at opt-level 3 —
+        // that compiled form is what `ZNN_FORCE_SCALAR` actually runs
+        // and is recorded in the `autovec` column. To measure scalar
+        // *arithmetic* (one lane per instruction — the baseline the
+        // paper's SIMD-width argument is stated against), the same
+        // per-element operations are walked in an odd-stride order the
+        // vectorizer cannot fuse; the stride is a unit mod the
+        // power-of-two length, so each pass still touches every
+        // element exactly once in the same L1-resident working set.
+        fn strict_cmul(dst: &mut [Complex<f32>], src: &[Complex<f32>]) {
+            let mask = dst.len() - 1;
+            let mut j = 0usize;
+            for _ in 0..dst.len() {
+                dst[j] *= src[j];
+                j = (j + 17) & mask;
+            }
+        }
+        fn strict_conj_mac(acc: &mut [Complex<f32>], x: &[Complex<f32>], g: &[Complex<f32>]) {
+            let mask = acc.len() - 1;
+            let mut j = 0usize;
+            for _ in 0..acc.len() {
+                acc[j] += x[j] * g[j].conj();
+                j = (j + 17) & mask;
+            }
+        }
+        fn strict_fma(dst: &mut [f32], w: f32, src: &[f32]) {
+            let mask = dst.len() - 1;
+            let mut j = 0usize;
+            for _ in 0..dst.len() {
+                dst[j] = w.mul_add(src[j], dst[j]);
+                j = (j + 17) & mask;
+            }
+        }
+
+        #[derive(Clone, Copy)]
+        enum Path {
+            Simd,
+            Autovec,
+            Strict,
+        }
+
+        // Interleaved best-of-N duel: on a shared/1-core host a single
+        // mean swings several-fold run to run; the min over many short
+        // alternating trials is the only stable estimator for sub-µs
+        // kernels. Returns per-application seconds as
+        // `[simd, autovec, strict]`.
+        fn duel(mut run: impl FnMut(Path)) -> [f64; 3] {
+            let mut best = [f64::INFINITY; 3];
+            for _ in 0..9 {
+                for (slot, path) in
+                    [Path::Simd, Path::Autovec, Path::Strict].into_iter().enumerate()
+                {
+                    best[slot] = best[slot].min(time_per_round(1, 2, || run(path)));
+                }
+            }
+            best.map(|b| b / PW_K as f64)
+        }
+
+        let mut dst_c = seed_c.clone();
+        let [simd_s, autovec_s, scalar_s] = duel(|path| {
+            for _ in 0..PW_K {
+                let d = std::hint::black_box(&mut dst_c);
+                match path {
+                    Path::Simd => znn_simd::mul_assign_c(d, &unit),
+                    Path::Autovec => znn_simd::scalar::mul_assign_c(d, &unit),
+                    Path::Strict => strict_cmul(d, &unit),
+                }
+            }
+        });
+        push_kernel("pointwise_cmul", scalar_s, autovec_s, simd_s, &mut recs);
+
+        let mut dst_c = seed_c.clone();
+        let [simd_s, autovec_s, scalar_s] = duel(|path| {
+            for _ in 0..PW_K {
+                let d = std::hint::black_box(&mut dst_c);
+                match path {
+                    Path::Simd => znn_simd::conj_mul_add_assign_c(d, &seed_c, &unit),
+                    Path::Autovec => {
+                        znn_simd::scalar::conj_mul_add_assign_c(d, &seed_c, &unit)
+                    }
+                    Path::Strict => strict_conj_mac(d, &seed_c, &unit),
+                }
+            }
+        });
+        push_kernel("pointwise_conj_mac", scalar_s, autovec_s, simd_s, &mut recs);
+
+        let mut dst_f = seed_f.clone();
+        let [simd_s, autovec_s, scalar_s] = duel(|path| {
+            for _ in 0..PW_K {
+                let d = std::hint::black_box(&mut dst_f);
+                match path {
+                    Path::Simd => znn_simd::fma_acc_f(d, 1.0e-3, &seed_f),
+                    Path::Autovec => znn_simd::scalar::fma_acc_f(d, 1.0e-3, &seed_f),
+                    Path::Strict => strict_fma(d, 1.0e-3, &seed_f),
+                }
+            }
+        });
+        push_kernel("conv_fma_row", scalar_s, autovec_s, simd_s, &mut recs);
+
+        json.push_str(&recs.join(",\n"));
+        json.push_str("\n    ],\n");
+
+        // end to end: the whole 64³ r2c forward pipeline, default
+        // engine vs pinned-scalar kernels on one thread
+        let img = ops::random(Vec3::cube(64), 12);
+        let simd_engine = FftEngine::with_threads(1);
+        let scalar_engine = FftEngine::with_scalar_kernels();
+        let (warm, reps) = reps_for(64);
+        let simd_fwd = time_per_round(warm, reps, || {
+            std::hint::black_box(simd_engine.rfft3(&img));
+        });
+        let scalar_fwd = time_per_round(warm, reps, || {
+            std::hint::black_box(scalar_engine.rfft3(&img));
+        });
+        // the scalar-kernel engine runs the one-lane butterflies, so
+        // scalar and autovec coincide here as in the radix rows
+        row(&[
+            "e2e_rfft3_64".to_string(),
+            fmt(scalar_fwd),
+            fmt(scalar_fwd),
+            fmt(simd_fwd),
+            format!("{:.2}x", scalar_fwd / simd_fwd),
+            format!("{:.2}x", scalar_fwd / simd_fwd),
+        ]);
+        let _ = writeln!(
+            json,
+            "    \"e2e_64\": {{\"scalar_fwd_s\": {scalar_fwd:.6e}, \
+             \"simd_fwd_s\": {simd_fwd:.6e}, \"speedup\": {:.2}}}",
+            scalar_fwd / simd_fwd
+        );
+        json.push_str("  }");
     }
     json.push_str("\n}\n");
 

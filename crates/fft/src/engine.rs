@@ -134,6 +134,13 @@ impl SendPtr {
 /// splits. Override with [`FftEngine::par_threshold`].
 const PAR_MIN_ELEMS: usize = 16 * 1024;
 
+/// Lines gathered per `process_with_scratch` call in the strided-axis
+/// and r2c/c2r line loops. Matches the 8-line struct-of-arrays batch
+/// the Stockham SIMD kernels consume, so a full group takes the
+/// vectorized path; per-line results are bitwise identical either way,
+/// making group boundaries (and worker-chunk interaction) unobservable.
+const LINE_BATCH: usize = 8;
+
 /// Plan cache: one planned 1D transform per (line length, direction).
 type PlanMap = HashMap<(usize, Dir), Arc<dyn Fft<f32>>>;
 /// r2c twiddle cache: one table per (packed-axis extent, direction).
@@ -174,6 +181,13 @@ type TwiddleMap = HashMap<(usize, Dir), Arc<Vec<Complex32>>>;
 /// on the calling thread (which executes pending chunks while it
 /// waits), and on any threads *donated* to the pool by an outer task
 /// scheduler.
+///
+/// Within each worker's range, lines are gathered in groups of 8 and
+/// handed to the planned kernel in one call, which lets the Stockham
+/// engine run its batched AVX2 lines (struct-of-arrays across the
+/// group — see `znn-simd` and `docs/ARCHITECTURE.md` §7); batched and
+/// per-line results are bitwise identical, so the grouping is purely a
+/// speed lever.
 ///
 /// The split is at line granularity, chunk boundaries are a pure
 /// function of the worker count, scratch is slotted per concurrent
@@ -239,6 +253,12 @@ pub struct FftEngine {
     /// keeps the recursive-vs-iterative gap measurable at the 3D
     /// transform level.
     recursive_kernels: bool,
+    /// When true, every 1D line plan comes from
+    /// `FftPlanner::plan_fft_scalar` — the Stockham kernels with the
+    /// batched SIMD lines pinned off. Differential-test and
+    /// `fft_traffic` baseline for the SIMD path; output is bitwise
+    /// identical to the default engine.
+    scalar_kernels: bool,
     /// Minimum complex elements in a batch before it is split.
     par_min_elems: usize,
     /// Slotted per-worker scratch (see [`ScratchPool`]).
@@ -273,6 +293,7 @@ impl FftEngine {
             pool: None,
             spawn_per_call: false,
             recursive_kernels: false,
+            scalar_kernels: false,
             par_min_elems: PAR_MIN_ELEMS,
             scratch: ScratchPool::new(threads),
             pools: None,
@@ -309,6 +330,19 @@ impl FftEngine {
     pub fn with_recursive_kernels() -> Self {
         let mut engine = Self::with_threads(1);
         engine.recursive_kernels = true;
+        engine
+    }
+
+    /// A new single-threaded engine whose 1D line plans pin the
+    /// Stockham kernels to their scalar per-line path, bypassing the
+    /// batched SIMD lines. **Differential-test and benchmark baseline
+    /// only** (`fft_traffic` records the SIMD-vs-scalar delta with
+    /// it): results are bitwise identical to the default engine — the
+    /// vector butterflies perform the same IEEE ops in the same order
+    /// — so this switch can only ever change speed.
+    pub fn with_scalar_kernels() -> Self {
+        let mut engine = Self::with_threads(1);
+        engine.scalar_kernels = true;
         engine
     }
 
@@ -421,6 +455,8 @@ impl FftEngine {
                 };
                 let plan = if self.recursive_kernels {
                     planner.plan_fft_recursive(len, fdir)
+                } else if self.scalar_kernels {
+                    planner.plan_fft_scalar(len, fdir)
                 } else {
                     planner.plan_fft(len, fdir)
                 };
@@ -492,13 +528,23 @@ impl FftEngine {
         }
         let spec = LineSpec::new(shape, axis);
         if workers <= 1 {
+            // gather lines in groups of LINE_BATCH so a full group runs
+            // the Stockham kernels' batched SIMD path in one call
             self.scratch.with(|s| {
                 let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len(), s.home.as_ref());
-                let buf = borrow_buf(&mut s.line, spec.len, s.home.as_ref());
-                for i in 0..spec.count {
-                    spec.read_line(t, i, buf);
-                    plan.process_with_scratch(buf, scratch);
-                    spec.write_line(t, i, buf);
+                let buf = borrow_buf(&mut s.line, LINE_BATCH * spec.len, s.home.as_ref());
+                let mut i = 0;
+                while i < spec.count {
+                    let g = LINE_BATCH.min(spec.count - i);
+                    let group = &mut buf[..g * spec.len];
+                    for (j, line) in group.chunks_exact_mut(spec.len).enumerate() {
+                        spec.read_line(t, i + j, line);
+                    }
+                    plan.process_with_scratch(group, scratch);
+                    for (j, line) in group.chunks_exact(spec.len).enumerate() {
+                        spec.write_line(t, i + j, line);
+                    }
+                    i += g;
                 }
             });
             return;
@@ -518,30 +564,33 @@ impl FftEngine {
                     let ptr = base.get();
                     scratch_pool.with(|s| {
                         let scratch = borrow_buf(&mut s.plan, plan.get_inplace_scratch_len(), s.home.as_ref());
-                        let buf = borrow_buf(&mut s.line, spec.len, s.home.as_ref());
-                        for i in lo..hi {
-                            let start = spec.starts()[i];
+                        let buf = borrow_buf(&mut s.line, LINE_BATCH * spec.len, s.home.as_ref());
+                        let mut i = lo;
+                        while i < hi {
+                            let g = LINE_BATCH.min(hi - i);
+                            let group = &mut buf[..g * spec.len];
                             // SAFETY: line i touches exactly the elements
-                            // start + k·stride, k < len — pairwise
+                            // starts[i] + k·stride, k < len — pairwise
                             // disjoint across lines, and this worker's
                             // line range [lo, hi) is disjoint from every
                             // other worker's. All offsets are in bounds
                             // by LineSpec's construction.
-                            unsafe {
-                                let mut p = start;
-                                for b in buf.iter_mut() {
-                                    *b = *ptr.add(p);
+                            for (j, line) in group.chunks_exact_mut(spec.len).enumerate() {
+                                let mut p = spec.starts()[i + j];
+                                for b in line.iter_mut() {
+                                    unsafe { *b = *ptr.add(p) };
                                     p += spec.stride;
                                 }
                             }
-                            plan.process_with_scratch(buf, scratch);
-                            unsafe {
-                                let mut p = start;
-                                for b in buf.iter() {
-                                    *ptr.add(p) = *b;
+                            plan.process_with_scratch(group, scratch);
+                            for (j, line) in group.chunks_exact(spec.len).enumerate() {
+                                let mut p = spec.starts()[i + j];
+                                for b in line.iter() {
+                                    unsafe { *ptr.add(p) = *b };
                                     p += spec.stride;
                                 }
                             }
+                            i += g;
                         }
                     });
                 });
@@ -598,26 +647,41 @@ impl FftEngine {
             let plan = (hn > 1).then(|| self.plan(hn, Dir::Fwd));
             let tw = self.rtwiddle(n, Dir::Fwd);
             let pack = |src_all: &[f32], dst_all: &mut [Complex32]| {
+                // pack LINE_BATCH lines per transform call so a full
+                // group runs the Stockham batched SIMD path
                 self.scratch.with(|s| {
                     let scratch = borrow_buf(
                         &mut s.plan,
                         plan.as_ref().map_or(0, |p| p.get_inplace_scratch_len()),
                         s.home.as_ref(),
                     );
-                    let buf = borrow_buf(&mut s.line, hn, s.home.as_ref());
-                    for (src, dst) in src_all.chunks_exact(n).zip(dst_all.chunks_exact_mut(h)) {
-                        for (t, b) in buf.iter_mut().enumerate() {
-                            *b = Complex32::new(src[2 * t], src[2 * t + 1]);
+                    let buf = borrow_buf(&mut s.line, LINE_BATCH * hn, s.home.as_ref());
+                    for (sg, dg) in src_all
+                        .chunks(LINE_BATCH * n)
+                        .zip(dst_all.chunks_mut(LINE_BATCH * h))
+                    {
+                        let g = sg.len() / n;
+                        let group = &mut buf[..g * hn];
+                        for (src, line) in
+                            sg.chunks_exact(n).zip(group.chunks_exact_mut(hn))
+                        {
+                            for (t, b) in line.iter_mut().enumerate() {
+                                *b = Complex32::new(src[2 * t], src[2 * t + 1]);
+                            }
                         }
                         if let Some(p) = &plan {
-                            p.process_with_scratch(buf, scratch);
+                            p.process_with_scratch(group, scratch);
                         }
-                        for (k, d) in dst.iter_mut().enumerate() {
-                            let zk = buf[k % hn];
-                            let zc = buf[(hn - k) % hn].conj();
-                            let ze = (zk + zc) * 0.5;
-                            let zo = (zk - zc) * Complex32::new(0.0, -0.5);
-                            *d = ze + tw[k] * zo;
+                        for (dst, line) in
+                            dg.chunks_exact_mut(h).zip(group.chunks_exact(hn))
+                        {
+                            for (k, d) in dst.iter_mut().enumerate() {
+                                let zk = line[k % hn];
+                                let zc = line[(hn - k) % hn].conj();
+                                let ze = (zk + zc) * 0.5;
+                                let zo = (zk - zc) * Complex32::new(0.0, -0.5);
+                                *d = ze + tw[k] * zo;
+                            }
                         }
                     }
                 });
@@ -725,29 +789,41 @@ impl FftEngine {
             let plan = (hn > 1).then(|| self.plan(hn, Dir::Inv));
             let tw = self.rtwiddle(n, Dir::Inv);
             let unpack = |slots: &mut [f32]| {
+                // repack LINE_BATCH slots per transform call so a full
+                // group runs the Stockham batched SIMD path
                 self.scratch.with(|s| {
                     let scratch = borrow_buf(
                         &mut s.plan,
                         plan.as_ref().map_or(0, |p| p.get_inplace_scratch_len()),
                         s.home.as_ref(),
                     );
-                    let buf = borrow_buf(&mut s.line, hn, s.home.as_ref());
-                    for slot in slots.chunks_exact_mut(2 * h) {
-                        for (k, b) in buf.iter_mut().enumerate() {
-                            let xk = Complex32::new(slot[2 * k], slot[2 * k + 1]);
-                            let xc =
-                                Complex32::new(slot[2 * (hn - k)], -slot[2 * (hn - k) + 1]);
-                            let ze = (xk + xc) * 0.5;
-                            let zo = (xk - xc) * 0.5 * tw[k];
-                            // z[k] = ze + i·zo repacks even/odd interleaving
-                            *b = Complex32::new(ze.re - zo.im, ze.im + zo.re);
+                    let buf = borrow_buf(&mut s.line, LINE_BATCH * hn, s.home.as_ref());
+                    for sg in slots.chunks_mut(LINE_BATCH * 2 * h) {
+                        let g = sg.len() / (2 * h);
+                        let group = &mut buf[..g * hn];
+                        for (slot, line) in
+                            sg.chunks_exact(2 * h).zip(group.chunks_exact_mut(hn))
+                        {
+                            for (k, b) in line.iter_mut().enumerate() {
+                                let xk = Complex32::new(slot[2 * k], slot[2 * k + 1]);
+                                let xc =
+                                    Complex32::new(slot[2 * (hn - k)], -slot[2 * (hn - k) + 1]);
+                                let ze = (xk + xc) * 0.5;
+                                let zo = (xk - xc) * 0.5 * tw[k];
+                                // z[k] = ze + i·zo repacks even/odd interleaving
+                                *b = Complex32::new(ze.re - zo.im, ze.im + zo.re);
+                            }
                         }
                         if let Some(p) = &plan {
-                            p.process_with_scratch(buf, scratch);
+                            p.process_with_scratch(group, scratch);
                         }
-                        for (t, b) in buf.iter().enumerate() {
-                            slot[2 * t] = b.re * scale;
-                            slot[2 * t + 1] = b.im * scale;
+                        for (slot, line) in
+                            sg.chunks_exact_mut(2 * h).zip(group.chunks_exact(hn))
+                        {
+                            for (t, b) in line.iter().enumerate() {
+                                slot[2 * t] = b.re * scale;
+                                slot[2 * t + 1] = b.im * scale;
+                            }
                         }
                     }
                 });

@@ -30,24 +30,39 @@ use znn_tensor::Tensor3;
 /// original support `k` (before padding). Pointwise — no FFT.
 pub fn flip_spectrum(w_spec: &Spectrum, k: Vec3) -> Spectrum {
     let m = w_spec.full_shape();
-    let two_pi = 2.0 * std::f32::consts::PI;
+    let two_pi = 2.0 * std::f64::consts::PI;
     // clone-then-rotate in place: a pooled input spectrum yields a
-    // pooled output (tensor clones re-lease from their source), so this
-    // per-backward-conv derivation allocates nothing in steady state.
-    // Stored bins are the true frequencies 0..=⌊m/2⌋ along the packed
-    // axis, so the phase formula is unchanged; it just runs over half
-    // the lattice.
+    // pooled output (tensor clones re-lease from their source). The
+    // phase factor separates per axis, so the trig runs once per *axis
+    // bin* — three tables of O(m) unit rotations, angles in f64 — and
+    // the O(m³) bin sweep is pure complex multiplies. Stored bins are
+    // the true frequencies 0..=⌊m/2⌋ along the packed axis, so the
+    // phase formula is unchanged; it just runs over half the lattice.
     let mut out = w_spec.clone();
     let hs = out.half().shape();
-    for (w, f) in out.half_mut().as_mut_slice().iter_mut().zip(hs.iter()) {
-        let mut phase = 0.0f32;
-        for a in 0..3 {
-            if m[a] > 1 {
-                phase -= two_pi * (f[a] * (k[a] - 1)) as f32 / m[a] as f32;
-            }
+    let axis_table = |a: usize| -> Vec<Complex32> {
+        (0..hs[a])
+            .map(|f| {
+                if m[a] > 1 {
+                    let ang = -two_pi * (f * (k[a] - 1)) as f64 / m[a] as f64;
+                    Complex32::new(ang.cos() as f32, ang.sin() as f32)
+                } else {
+                    Complex32::new(1.0, 0.0)
+                }
+            })
+            .collect()
+    };
+    let (rx, ry, rz) = (axis_table(0), axis_table(1), axis_table(2));
+    for (row, wrow) in out
+        .half_mut()
+        .as_mut_slice()
+        .chunks_exact_mut(hs[2])
+        .enumerate()
+    {
+        let rxy = rx[row / hs[1]] * ry[row % hs[1]];
+        for (w, r) in wrow.iter_mut().zip(&rz) {
+            *w = w.conj() * (rxy * *r);
         }
-        let rot = Complex32::new(phase.cos(), phase.sin());
-        *w = w.conj() * rot;
     }
     out
 }
@@ -65,14 +80,7 @@ pub fn corr_spectrum(x_spec: &Spectrum, g_spec: &Spectrum) -> Spectrum {
         "spectrum shape mismatch"
     );
     let mut out = x_spec.clone();
-    for (o, g) in out
-        .half_mut()
-        .as_mut_slice()
-        .iter_mut()
-        .zip(g_spec.half().as_slice())
-    {
-        *o *= g.conj();
-    }
+    znn_simd::conj_mul_assign_c(out.half_mut().as_mut_slice(), g_spec.half().as_slice());
     out
 }
 
@@ -88,15 +96,11 @@ pub fn corr_mul_add(acc: &mut Spectrum, x_spec: &Spectrum, g_spec: &Spectrum) {
         g_spec.full_shape(),
         "spectrum shape mismatch"
     );
-    for ((a, x), g) in acc
-        .half_mut()
-        .as_mut_slice()
-        .iter_mut()
-        .zip(x_spec.half().as_slice())
-        .zip(g_spec.half().as_slice())
-    {
-        *a += *x * g.conj();
-    }
+    znn_simd::conj_mul_add_assign_c(
+        acc.half_mut().as_mut_slice(),
+        x_spec.half().as_slice(),
+        g_spec.half().as_slice(),
+    );
 }
 
 /// Extracts the §III-B kernel gradient from the inverse transform of a

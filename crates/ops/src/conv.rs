@@ -9,8 +9,10 @@
 //!   convolution of the reflected input with the output gradient
 //!   (§III-B), restricted to the kernel lattice when sparse.
 //!
-//! The inner loops run along the contiguous `z` axis so the compiler can
-//! vectorize the multiply-accumulate.
+//! The inner loops run along the contiguous `z` axis and dispatch
+//! through [`znn_simd::fma_acc_f`]: a fused multiply-accumulate (one
+//! rounding per element) with an AVX2+FMA body on detecting hosts and a
+//! bitwise-identical `f32::mul_add` scalar twin elsewhere.
 
 use znn_tensor::{pad, Image, Tensor3, Vec3};
 
@@ -66,12 +68,10 @@ pub fn conv_valid_into(img: &Image, ker: &Image, sparsity: Vec3, out: &mut Image
                         // As the output z index advances by one, the input
                         // index advances by one as well (sparsity dilates
                         // the kernel, not the output walk), so this is a
-                        // contiguous axpy.
+                        // contiguous fused multiply-accumulate row.
                         let src = &in_data[in_base + uz * s[2]..][..out_shape[2]];
                         let dst = &mut out.as_mut_slice()[row_start..row_start + out_shape[2]];
-                        for (d, &v) in dst.iter_mut().zip(src) {
-                            *d += w * v;
-                        }
+                        znn_simd::fma_acc_f(dst, w, src);
                     }
                 }
             }

@@ -76,10 +76,22 @@ impl Transfer {
     /// Clone-then-apply rather than `map`: a pool-leased input yields a
     /// pool-leased output (tensor clones re-lease from their source),
     /// so transfer edges ride the §VII-C allocator like conv edges do.
+    ///
+    /// The piecewise-linear functions dispatch through `znn-simd`
+    /// kernels (bitwise equal to the scalar [`Transfer::apply`] loop);
+    /// the transcendental ones keep the scalar loop — `exp`/`tanh` have
+    /// no lane-exact vector form.
     pub fn forward(&self, x: &Image, bias: f32) -> Image {
         let mut y = x.clone();
-        for v in y.as_mut_slice() {
-            *v = self.apply(*v + bias);
+        match *self {
+            Transfer::Linear => znn_simd::bias_add_f(y.as_mut_slice(), bias),
+            Transfer::Relu => znn_simd::bias_relu_f(y.as_mut_slice(), bias),
+            Transfer::LeakyRelu(a) => znn_simd::bias_leaky_relu_f(y.as_mut_slice(), bias, a),
+            Transfer::Logistic | Transfer::Tanh => {
+                for v in y.as_mut_slice() {
+                    *v = self.apply(*v + bias);
+                }
+            }
         }
         y
     }
@@ -88,12 +100,22 @@ impl Transfer {
     /// transfer derivative, evaluated from the forward *output*.
     ///
     /// Clone-then-scale like [`Transfer::forward`], so a pooled
-    /// gradient yields a pooled backward image.
+    /// gradient yields a pooled backward image. Every derivative here
+    /// is a rational function of `y`, so all five variants dispatch
+    /// through `znn-simd` (`Linear` multiplies by 1, a bitwise no-op).
     pub fn backward(&self, grad: &Image, fwd_output: &Image) -> Image {
         assert_eq!(grad.shape(), fwd_output.shape(), "shape mismatch");
         let mut out = grad.clone();
-        for (o, &y) in out.as_mut_slice().iter_mut().zip(fwd_output.as_slice()) {
-            *o *= self.derivative_from_output(y);
+        match *self {
+            Transfer::Linear => {}
+            Transfer::Logistic => {
+                znn_simd::logistic_deriv_mul_f(out.as_mut_slice(), fwd_output.as_slice())
+            }
+            Transfer::Tanh => znn_simd::tanh_deriv_mul_f(out.as_mut_slice(), fwd_output.as_slice()),
+            Transfer::Relu => znn_simd::relu_deriv_mul_f(out.as_mut_slice(), fwd_output.as_slice()),
+            Transfer::LeakyRelu(a) => {
+                znn_simd::leaky_relu_deriv_mul_f(out.as_mut_slice(), fwd_output.as_slice(), a)
+            }
         }
         out
     }

@@ -1,0 +1,103 @@
+//! Differential pins for the `znn-simd`-routed op-layer kernels: the
+//! direct convolver's fused z-row MAC and the transfer functions.
+//!
+//! `conv_valid_into` accumulates with `fma` (one rounding per tap), so
+//! it is pinned against an `f64` reference within a per-tap rounding
+//! budget rather than bitwise. The transfer functions preserve the
+//! scalar branch structure exactly and are pinned bitwise against the
+//! scalar [`Transfer::apply`]/[`Transfer::derivative_from_output`]
+//! loops.
+
+use proptest::prelude::*;
+use znn_ops::{conv, Transfer};
+use znn_tensor::{ops, Tensor3, Vec3};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Each output voxel sums `k.len()` fused multiply-adds of values
+    /// in [−1, 1), so its distance from the exact (f64) sum is below
+    /// `k.len() · ε · (running-magnitude bound)`; `2·k.len()·ε` is a
+    /// comfortable ceiling for these operand ranges.
+    #[test]
+    fn conv_valid_error_vs_f64_reference_is_tap_bounded(
+        nx in 2usize..6, ny in 2usize..6, nz in 3usize..9,
+        kx in 1usize..3, ky in 1usize..3, kz in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let n = Vec3::new(nx.max(kx), ny.max(ky), nz.max(kz));
+        let k = Vec3::new(kx, ky, kz);
+        let img = ops::random(n, seed);
+        let ker = ops::random(k, seed ^ 0x5EED);
+        let got = conv::conv_valid(&img, &ker, Vec3::one());
+        let out = conv::valid_shape(n, k, Vec3::one()).unwrap();
+        let tol = 2.0 * k.len() as f64 * f64::from(f32::EPSILON) * k.len() as f64;
+        for o in out.iter() {
+            let mut exact = 0.0f64;
+            for t in k.iter() {
+                let at = Vec3::new(
+                    o[0] + k[0] - 1 - t[0],
+                    o[1] + k[1] - 1 - t[1],
+                    o[2] + k[2] - 1 - t[2],
+                );
+                exact += f64::from(img.at(at)) * f64::from(ker.at(t));
+            }
+            prop_assert!(
+                (f64::from(got.at(o)) - exact).abs() <= tol,
+                "voxel {o}: got {} want {exact}", got.at(o)
+            );
+        }
+    }
+
+    /// Transfer forward/backward must equal the scalar per-voxel forms
+    /// bitwise — the vector bodies replicate the branch structure (and
+    /// `Linear` backward multiplies by exactly 1).
+    #[test]
+    fn transfer_kernels_match_scalar_forms_bitwise(
+        x in 1usize..4, y in 1usize..4, z in 1usize..11,
+        seed in 0u64..1000, bias_seed in 0u64..1000,
+    ) {
+        let bias = ops::splitmix_f32(bias_seed, 0);
+        let shape = Vec3::new(x, y, z);
+        let img = ops::random(shape, seed);
+        for f in [
+            Transfer::Linear,
+            Transfer::Logistic,
+            Transfer::Tanh,
+            Transfer::Relu,
+            Transfer::LeakyRelu(0.1),
+        ] {
+            let fwd = f.forward(&img, bias);
+            for (i, &v) in img.as_slice().iter().enumerate() {
+                prop_assert_eq!(
+                    fwd.as_slice()[i].to_bits(),
+                    f.apply(v + bias).to_bits(),
+                    "{:?} forward voxel {}", f, i
+                );
+            }
+            let grad = ops::random(shape, seed ^ 0xBAC);
+            let back = f.backward(&grad, &fwd);
+            for (i, (&g, &yv)) in grad.as_slice().iter().zip(fwd.as_slice()).enumerate() {
+                prop_assert_eq!(
+                    back.as_slice()[i].to_bits(),
+                    (g * f.derivative_from_output(yv)).to_bits(),
+                    "{:?} backward voxel {}", f, i
+                );
+            }
+        }
+    }
+}
+
+/// The delta-kernel identity must stay *exact* through the fused path:
+/// `fma(1, v, 0) = v` bitwise.
+#[test]
+fn fused_conv_keeps_delta_identity_exact() {
+    let img = ops::random(Vec3::cube(6), 99);
+    let delta = Tensor3::filled(Vec3::one(), 1.0f32);
+    let out = conv::conv_valid(&img, &delta, Vec3::one());
+    assert!(out
+        .as_slice()
+        .iter()
+        .zip(img.as_slice())
+        .all(|(a, b)| a.to_bits() == b.to_bits()));
+}

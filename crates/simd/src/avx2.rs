@@ -1,0 +1,356 @@
+//! AVX2+FMA bodies for the dispatched kernels.
+//!
+//! Every function here is `#[target_feature(enable = "avx2,fma")]`
+//! and is only reachable through the dispatch wrappers in `lib.rs`,
+//! which verified both features at runtime. Tails (`len % lanes`)
+//! fall through to the scalar twins on subslices, which is safe
+//! because every kernel is elementwise — results never depend on
+//! where the vector/tail boundary lands.
+//!
+//! Complex kernels work on the interleaved `re, im` storage directly:
+//! one `__m256` holds 4 complexes. The complex product uses the
+//! moveldup/movehdup/addsub sequence whose per-element operations are
+//! the vendored `num-complex` product with the imaginary-part add
+//! commuted — bitwise identical (IEEE add commutes).
+
+use crate::{complex_as_floats, complex_as_floats_mut};
+use num_complex::Complex;
+use std::arch::x86_64::*;
+
+/// `(a0·b0, a1·b1, …)` complex product of 4 interleaved complexes.
+#[inline(always)]
+unsafe fn cmul(a: __m256, b: __m256) -> __m256 {
+    let br = _mm256_moveldup_ps(b); // (b.re, b.re) per complex
+    let bi = _mm256_movehdup_ps(b); // (b.im, b.im) per complex
+    let t1 = _mm256_mul_ps(a, br); // (a.re·b.re, a.im·b.re)
+    let sw = _mm256_permute_ps(a, 0xB1); // (a.im, a.re)
+    let t2 = _mm256_mul_ps(sw, bi); // (a.im·b.im, a.re·b.im)
+    // even lanes t1−t2 = re, odd lanes t1+t2 = im
+    _mm256_addsub_ps(t1, t2)
+}
+
+/// Negates the imaginary lanes of 4 interleaved complexes (`conj`).
+#[inline(always)]
+unsafe fn conj4(v: __m256) -> __m256 {
+    let m = _mm256_setr_ps(0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0);
+    _mm256_xor_ps(v, m)
+}
+
+macro_rules! real_loop {
+    ($dst:ident, $main:ident, $i:ident, $body:block) => {
+        let n = $dst.len();
+        let $main = n - n % 8;
+        let mut $i = 0;
+        while $i < $main {
+            $body
+            $i += 8;
+        }
+    };
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn add_assign_f(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len());
+    let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+    real_loop!(dst, main, i, {
+        let d = _mm256_loadu_ps(dp.add(i));
+        let s = _mm256_loadu_ps(sp.add(i));
+        _mm256_storeu_ps(dp.add(i), _mm256_add_ps(d, s));
+    });
+    crate::scalar::add_assign_f(&mut dst[main..], &src[main..]);
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn mul_assign_f(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len());
+    let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+    real_loop!(dst, main, i, {
+        let d = _mm256_loadu_ps(dp.add(i));
+        let s = _mm256_loadu_ps(sp.add(i));
+        _mm256_storeu_ps(dp.add(i), _mm256_mul_ps(d, s));
+    });
+    crate::scalar::mul_assign_f(&mut dst[main..], &src[main..]);
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn scale_f(dst: &mut [f32], s: f32) {
+    let dp = dst.as_mut_ptr();
+    let sv = _mm256_set1_ps(s);
+    real_loop!(dst, main, i, {
+        let d = _mm256_loadu_ps(dp.add(i));
+        _mm256_storeu_ps(dp.add(i), _mm256_mul_ps(d, sv));
+    });
+    crate::scalar::scale_f(&mut dst[main..], s);
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn axpy_f(dst: &mut [f32], a: f32, src: &[f32]) {
+    assert_eq!(dst.len(), src.len());
+    let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+    let av = _mm256_set1_ps(a);
+    real_loop!(dst, main, i, {
+        let d = _mm256_loadu_ps(dp.add(i));
+        let s = _mm256_loadu_ps(sp.add(i));
+        _mm256_storeu_ps(dp.add(i), _mm256_fmadd_ps(d, av, s));
+    });
+    crate::scalar::axpy_f(&mut dst[main..], a, &src[main..]);
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn sub_scaled_f(dst: &mut [f32], eta: f32, src: &[f32]) {
+    assert_eq!(dst.len(), src.len());
+    let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+    let nv = _mm256_set1_ps(-eta);
+    real_loop!(dst, main, i, {
+        let d = _mm256_loadu_ps(dp.add(i));
+        let s = _mm256_loadu_ps(sp.add(i));
+        _mm256_storeu_ps(dp.add(i), _mm256_fmadd_ps(nv, s, d));
+    });
+    crate::scalar::sub_scaled_f(&mut dst[main..], eta, &src[main..]);
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn fma_acc_f(dst: &mut [f32], w: f32, src: &[f32]) {
+    assert_eq!(dst.len(), src.len());
+    let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+    let wv = _mm256_set1_ps(w);
+    real_loop!(dst, main, i, {
+        let d = _mm256_loadu_ps(dp.add(i));
+        let s = _mm256_loadu_ps(sp.add(i));
+        _mm256_storeu_ps(dp.add(i), _mm256_fmadd_ps(wv, s, d));
+    });
+    crate::scalar::fma_acc_f(&mut dst[main..], w, &src[main..]);
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn add_assign_c(dst: &mut [Complex<f32>], src: &[Complex<f32>]) {
+    assert_eq!(dst.len(), src.len());
+    // complex add is lanewise on the interleaved floats
+    add_assign_f(complex_as_floats_mut(dst), complex_as_floats(src));
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn mul_assign_c(dst: &mut [Complex<f32>], src: &[Complex<f32>]) {
+    assert_eq!(dst.len(), src.len());
+    let n = dst.len();
+    let main = n - n % 4;
+    let dp = complex_as_floats_mut(dst).as_mut_ptr();
+    let sp = complex_as_floats(src).as_ptr();
+    let mut i = 0;
+    // 4x unrolled (16 complexes per iteration) for ILP — each cmul is
+    // a ~13-cycle dependency chain of cheap ops, so four independent
+    // chains keep the shuffle and multiply ports saturated. Unrolling
+    // reorders nothing within an element: still lane-exact.
+    let main16 = (n - n % 16) * 2;
+    while i < main16 {
+        let d0 = _mm256_loadu_ps(dp.add(i));
+        let d1 = _mm256_loadu_ps(dp.add(i + 8));
+        let d2 = _mm256_loadu_ps(dp.add(i + 16));
+        let d3 = _mm256_loadu_ps(dp.add(i + 24));
+        let s0 = _mm256_loadu_ps(sp.add(i));
+        let s1 = _mm256_loadu_ps(sp.add(i + 8));
+        let s2 = _mm256_loadu_ps(sp.add(i + 16));
+        let s3 = _mm256_loadu_ps(sp.add(i + 24));
+        _mm256_storeu_ps(dp.add(i), cmul(d0, s0));
+        _mm256_storeu_ps(dp.add(i + 8), cmul(d1, s1));
+        _mm256_storeu_ps(dp.add(i + 16), cmul(d2, s2));
+        _mm256_storeu_ps(dp.add(i + 24), cmul(d3, s3));
+        i += 32;
+    }
+    while i < main * 2 {
+        let d = _mm256_loadu_ps(dp.add(i));
+        let s = _mm256_loadu_ps(sp.add(i));
+        _mm256_storeu_ps(dp.add(i), cmul(d, s));
+        i += 8;
+    }
+    crate::scalar::mul_assign_c(&mut dst[main..], &src[main..]);
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn mul_add_assign_c(
+    dst: &mut [Complex<f32>],
+    a: &[Complex<f32>],
+    b: &[Complex<f32>],
+) {
+    assert_eq!(dst.len(), a.len());
+    assert_eq!(dst.len(), b.len());
+    let n = dst.len();
+    let main = n - n % 4;
+    let dp = complex_as_floats_mut(dst).as_mut_ptr();
+    let ap = complex_as_floats(a).as_ptr();
+    let bp = complex_as_floats(b).as_ptr();
+    let mut i = 0;
+    while i < main * 2 {
+        let d = _mm256_loadu_ps(dp.add(i));
+        let x = _mm256_loadu_ps(ap.add(i));
+        let y = _mm256_loadu_ps(bp.add(i));
+        _mm256_storeu_ps(dp.add(i), _mm256_add_ps(d, cmul(x, y)));
+        i += 8;
+    }
+    crate::scalar::mul_add_assign_c(&mut dst[main..], &a[main..], &b[main..]);
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn conj_mul_assign_c(dst: &mut [Complex<f32>], g: &[Complex<f32>]) {
+    assert_eq!(dst.len(), g.len());
+    let n = dst.len();
+    let main = n - n % 4;
+    let dp = complex_as_floats_mut(dst).as_mut_ptr();
+    let gp = complex_as_floats(g).as_ptr();
+    let mut i = 0;
+    while i < main * 2 {
+        let d = _mm256_loadu_ps(dp.add(i));
+        let s = conj4(_mm256_loadu_ps(gp.add(i)));
+        _mm256_storeu_ps(dp.add(i), cmul(d, s));
+        i += 8;
+    }
+    crate::scalar::conj_mul_assign_c(&mut dst[main..], &g[main..]);
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn conj_mul_add_assign_c(
+    acc: &mut [Complex<f32>],
+    x: &[Complex<f32>],
+    g: &[Complex<f32>],
+) {
+    assert_eq!(acc.len(), x.len());
+    assert_eq!(acc.len(), g.len());
+    let n = acc.len();
+    let main = n - n % 4;
+    let ap = complex_as_floats_mut(acc).as_mut_ptr();
+    let xp = complex_as_floats(x).as_ptr();
+    let gp = complex_as_floats(g).as_ptr();
+    let mut i = 0;
+    // 4x unrolled like `mul_assign_c`: four independent
+    // conj+cmul+add chains per iteration, no within-element reordering
+    let main16 = (n - n % 16) * 2;
+    while i < main16 {
+        let a0 = _mm256_loadu_ps(ap.add(i));
+        let a1 = _mm256_loadu_ps(ap.add(i + 8));
+        let a2 = _mm256_loadu_ps(ap.add(i + 16));
+        let a3 = _mm256_loadu_ps(ap.add(i + 24));
+        let x0 = _mm256_loadu_ps(xp.add(i));
+        let x1 = _mm256_loadu_ps(xp.add(i + 8));
+        let x2 = _mm256_loadu_ps(xp.add(i + 16));
+        let x3 = _mm256_loadu_ps(xp.add(i + 24));
+        let g0 = conj4(_mm256_loadu_ps(gp.add(i)));
+        let g1 = conj4(_mm256_loadu_ps(gp.add(i + 8)));
+        let g2 = conj4(_mm256_loadu_ps(gp.add(i + 16)));
+        let g3 = conj4(_mm256_loadu_ps(gp.add(i + 24)));
+        _mm256_storeu_ps(ap.add(i), _mm256_add_ps(a0, cmul(x0, g0)));
+        _mm256_storeu_ps(ap.add(i + 8), _mm256_add_ps(a1, cmul(x1, g1)));
+        _mm256_storeu_ps(ap.add(i + 16), _mm256_add_ps(a2, cmul(x2, g2)));
+        _mm256_storeu_ps(ap.add(i + 24), _mm256_add_ps(a3, cmul(x3, g3)));
+        i += 32;
+    }
+    while i < main * 2 {
+        let a = _mm256_loadu_ps(ap.add(i));
+        let xv = _mm256_loadu_ps(xp.add(i));
+        let gv = conj4(_mm256_loadu_ps(gp.add(i)));
+        _mm256_storeu_ps(ap.add(i), _mm256_add_ps(a, cmul(xv, gv)));
+        i += 8;
+    }
+    crate::scalar::conj_mul_add_assign_c(&mut acc[main..], &x[main..], &g[main..]);
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn bias_add_f(dst: &mut [f32], bias: f32) {
+    let dp = dst.as_mut_ptr();
+    let bv = _mm256_set1_ps(bias);
+    real_loop!(dst, main, i, {
+        let d = _mm256_loadu_ps(dp.add(i));
+        _mm256_storeu_ps(dp.add(i), _mm256_add_ps(d, bv));
+    });
+    crate::scalar::bias_add_f(&mut dst[main..], bias);
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn bias_relu_f(dst: &mut [f32], bias: f32) {
+    let dp = dst.as_mut_ptr();
+    let bv = _mm256_set1_ps(bias);
+    let zero = _mm256_setzero_ps();
+    real_loop!(dst, main, i, {
+        let t = _mm256_add_ps(_mm256_loadu_ps(dp.add(i)), bv);
+        // t > 0 keeps t; else (incl. NaN, ±0) the AND yields +0.0 —
+        // matching the scalar branch, which returns literal 0.0.
+        let mask = _mm256_cmp_ps::<_CMP_GT_OQ>(t, zero);
+        _mm256_storeu_ps(dp.add(i), _mm256_and_ps(t, mask));
+    });
+    crate::scalar::bias_relu_f(&mut dst[main..], bias);
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn bias_leaky_relu_f(dst: &mut [f32], bias: f32, a: f32) {
+    let dp = dst.as_mut_ptr();
+    let bv = _mm256_set1_ps(bias);
+    let av = _mm256_set1_ps(a);
+    let zero = _mm256_setzero_ps();
+    real_loop!(dst, main, i, {
+        let t = _mm256_add_ps(_mm256_loadu_ps(dp.add(i)), bv);
+        let mask = _mm256_cmp_ps::<_CMP_GT_OQ>(t, zero);
+        let leaked = _mm256_mul_ps(av, t);
+        _mm256_storeu_ps(dp.add(i), _mm256_blendv_ps(leaked, t, mask));
+    });
+    crate::scalar::bias_leaky_relu_f(&mut dst[main..], bias, a);
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn relu_deriv_mul_f(dst: &mut [f32], y: &[f32]) {
+    assert_eq!(dst.len(), y.len());
+    let (dp, yp) = (dst.as_mut_ptr(), y.as_ptr());
+    let zero = _mm256_setzero_ps();
+    let one = _mm256_set1_ps(1.0);
+    real_loop!(dst, main, i, {
+        let yv = _mm256_loadu_ps(yp.add(i));
+        // multiply by a selected 1.0/0.0 (not a bitmask AND) so the
+        // scalar `*d *= factor` semantics for ±0/NaN in dst carry over
+        let f = _mm256_blendv_ps(zero, one, _mm256_cmp_ps::<_CMP_GT_OQ>(yv, zero));
+        let d = _mm256_loadu_ps(dp.add(i));
+        _mm256_storeu_ps(dp.add(i), _mm256_mul_ps(d, f));
+    });
+    crate::scalar::relu_deriv_mul_f(&mut dst[main..], &y[main..]);
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn leaky_relu_deriv_mul_f(dst: &mut [f32], y: &[f32], a: f32) {
+    assert_eq!(dst.len(), y.len());
+    let (dp, yp) = (dst.as_mut_ptr(), y.as_ptr());
+    let zero = _mm256_setzero_ps();
+    let one = _mm256_set1_ps(1.0);
+    let av = _mm256_set1_ps(a);
+    real_loop!(dst, main, i, {
+        let yv = _mm256_loadu_ps(yp.add(i));
+        let f = _mm256_blendv_ps(av, one, _mm256_cmp_ps::<_CMP_GT_OQ>(yv, zero));
+        let d = _mm256_loadu_ps(dp.add(i));
+        _mm256_storeu_ps(dp.add(i), _mm256_mul_ps(d, f));
+    });
+    crate::scalar::leaky_relu_deriv_mul_f(&mut dst[main..], &y[main..], a);
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn logistic_deriv_mul_f(dst: &mut [f32], y: &[f32]) {
+    assert_eq!(dst.len(), y.len());
+    let (dp, yp) = (dst.as_mut_ptr(), y.as_ptr());
+    let one = _mm256_set1_ps(1.0);
+    real_loop!(dst, main, i, {
+        let yv = _mm256_loadu_ps(yp.add(i));
+        let f = _mm256_mul_ps(yv, _mm256_sub_ps(one, yv));
+        let d = _mm256_loadu_ps(dp.add(i));
+        _mm256_storeu_ps(dp.add(i), _mm256_mul_ps(d, f));
+    });
+    crate::scalar::logistic_deriv_mul_f(&mut dst[main..], &y[main..]);
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn tanh_deriv_mul_f(dst: &mut [f32], y: &[f32]) {
+    assert_eq!(dst.len(), y.len());
+    let (dp, yp) = (dst.as_mut_ptr(), y.as_ptr());
+    let one = _mm256_set1_ps(1.0);
+    real_loop!(dst, main, i, {
+        let yv = _mm256_loadu_ps(yp.add(i));
+        let f = _mm256_sub_ps(one, _mm256_mul_ps(yv, yv));
+        let d = _mm256_loadu_ps(dp.add(i));
+        _mm256_storeu_ps(dp.add(i), _mm256_mul_ps(d, f));
+    });
+    crate::scalar::tanh_deriv_mul_f(&mut dst[main..], &y[main..]);
+}

@@ -1,0 +1,35 @@
+//! `ZNN_FORCE_SCALAR` round-trip: set the override before the first
+//! dispatch, then prove the process-wide detection honors it.
+//!
+//! This file holds exactly one `#[test]` on purpose — the override is
+//! read once per process, so the test owns the whole test-binary
+//! process and no other test can race the first `isa()` call.
+
+use num_complex::Complex;
+
+#[test]
+fn force_scalar_round_trip() {
+    std::env::set_var("ZNN_FORCE_SCALAR", "1");
+
+    assert_eq!(znn_simd::isa(), znn_simd::Isa::Scalar);
+    assert!(znn_simd::forced_scalar());
+    assert_eq!(znn_simd::isa_name(), "scalar");
+
+    // The dispatched kernels now run the scalar twins — results match
+    // calling the twins directly, bitwise.
+    let src: Vec<f32> = (0..67).map(|i| (i as f32) * 0.37 - 11.0).collect();
+    let mut a: Vec<f32> = (0..67).map(|i| (i as f32) * -0.19 + 3.0).collect();
+    let mut b = a.clone();
+    znn_simd::axpy_f(&mut a, 0.731, &src);
+    znn_simd::scalar::axpy_f(&mut b, 0.731, &src);
+    assert_eq!(a, b);
+
+    let g: Vec<Complex<f32>> =
+        (0..37).map(|i| Complex::new(i as f32 * 0.3, 1.0 - i as f32 * 0.1)).collect();
+    let mut c: Vec<Complex<f32>> =
+        (0..37).map(|i| Complex::new(1.0 + i as f32 * 0.2, i as f32 * -0.4)).collect();
+    let mut d = c.clone();
+    znn_simd::conj_mul_assign_c(&mut c, &g);
+    znn_simd::scalar::conj_mul_assign_c(&mut d, &g);
+    assert_eq!(c, d);
+}

@@ -1,26 +1,28 @@
 //! Elementwise kernels used on hot paths.
 //!
-//! These loops are written over plain slices so the compiler can
-//! auto-vectorize them; the tensor layer guarantees contiguity. They are
-//! the `ADD-TO(v, v')` primitive of the paper's wait-free summation
-//! (Algorithm 4) and the pointwise stages of FFT convolution.
+//! The slice loops dispatch through `znn-simd`: AVX2+FMA bodies where
+//! the host supports them, portable scalar twins everywhere else —
+//! bitwise-identical per element either way (see `znn-simd`'s crate
+//! docs for the exactness policy). They are the `ADD-TO(v, v')`
+//! primitive of the paper's wait-free summation (Algorithm 4) and the
+//! pointwise stages of FFT convolution.
+//!
+//! [`axpy`] and [`sub_scaled`] *fuse* their multiply-add (one rounding,
+//! [`f32::mul_add`] semantics) on every backend — fusing is part of
+//! their contract, not a vector-path quirk.
 
 use crate::{Complex32, Spectrum, Tensor3, Vec3};
 
 /// `dst += src`, elementwise. Panics on shape mismatch.
 pub fn add_assign(dst: &mut Tensor3<f32>, src: &Tensor3<f32>) {
     assert_eq!(dst.shape(), src.shape(), "add_assign shape mismatch");
-    for (d, s) in dst.as_mut_slice().iter_mut().zip(src.as_slice()) {
-        *d += *s;
-    }
+    znn_simd::add_assign_f(dst.as_mut_slice(), src.as_slice());
 }
 
 /// `dst += src` for complex tensors (frequency-domain accumulation).
 pub fn add_assign_c(dst: &mut Tensor3<Complex32>, src: &Tensor3<Complex32>) {
     assert_eq!(dst.shape(), src.shape(), "add_assign_c shape mismatch");
-    for (d, s) in dst.as_mut_slice().iter_mut().zip(src.as_slice()) {
-        *d += *s;
-    }
+    znn_simd::add_assign_c(dst.as_mut_slice(), src.as_slice());
 }
 
 /// `dst += a * b`, elementwise complex multiply-accumulate — the
@@ -28,63 +30,47 @@ pub fn add_assign_c(dst: &mut Tensor3<Complex32>, src: &Tensor3<Complex32>) {
 pub fn mul_add_assign_c(dst: &mut Tensor3<Complex32>, a: &Tensor3<Complex32>, b: &Tensor3<Complex32>) {
     assert_eq!(dst.shape(), a.shape(), "mul_add_assign_c shape mismatch");
     assert_eq!(dst.shape(), b.shape(), "mul_add_assign_c shape mismatch");
-    for ((d, x), y) in dst
-        .as_mut_slice()
-        .iter_mut()
-        .zip(a.as_slice())
-        .zip(b.as_slice())
-    {
-        *d += *x * *y;
-    }
+    znn_simd::mul_add_assign_c(dst.as_mut_slice(), a.as_slice(), b.as_slice());
 }
 
 /// Elementwise complex product `a * b` into a fresh tensor.
 pub fn mul_c(a: &Tensor3<Complex32>, b: &Tensor3<Complex32>) -> Tensor3<Complex32> {
     assert_eq!(a.shape(), b.shape(), "mul_c shape mismatch");
     let mut out = a.clone();
-    for (d, s) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
-        *d *= *s;
-    }
+    znn_simd::mul_assign_c(out.as_mut_slice(), b.as_slice());
     out
 }
 
 /// `dst *= s` for real tensors.
 pub fn scale(dst: &mut Tensor3<f32>, s: f32) {
-    for d in dst.as_mut_slice() {
-        *d *= s;
-    }
+    znn_simd::scale_f(dst.as_mut_slice(), s);
 }
 
 /// `dst *= s` for complex tensors (inverse-FFT normalization).
 pub fn scale_c(dst: &mut Tensor3<Complex32>, s: f32) {
-    for d in dst.as_mut_slice() {
-        *d *= s;
-    }
+    // a complex × real scale is lanewise on the interleaved floats
+    znn_simd::scale_f(znn_simd::complex_as_floats_mut(dst.as_mut_slice()), s);
 }
 
-/// `dst = dst * a + b`, the fused axpy used by SGD with momentum.
+/// `dst = fma(dst, a, b)`, the fused axpy used by SGD with momentum
+/// (single rounding per element, every backend).
 pub fn axpy(dst: &mut Tensor3<f32>, a: f32, b: &Tensor3<f32>) {
     assert_eq!(dst.shape(), b.shape(), "axpy shape mismatch");
-    for (d, s) in dst.as_mut_slice().iter_mut().zip(b.as_slice()) {
-        *d = *d * a + *s;
-    }
+    znn_simd::axpy_f(dst.as_mut_slice(), a, b.as_slice());
 }
 
-/// `dst -= eta * g`, the SGD parameter update of Algorithm 3 line 2.
+/// `dst = fma(-eta, g, dst)`, the SGD parameter update of Algorithm 3
+/// line 2 (fused, single rounding per element).
 pub fn sub_scaled(dst: &mut Tensor3<f32>, eta: f32, g: &Tensor3<f32>) {
     assert_eq!(dst.shape(), g.shape(), "sub_scaled shape mismatch");
-    for (d, s) in dst.as_mut_slice().iter_mut().zip(g.as_slice()) {
-        *d -= eta * *s;
-    }
+    znn_simd::sub_scaled_f(dst.as_mut_slice(), eta, g.as_slice());
 }
 
 /// Elementwise product into `dst` — the transfer-function Jacobian
 /// multiplies the backward image by the derivative image (§III-A).
 pub fn mul_assign(dst: &mut Tensor3<f32>, src: &Tensor3<f32>) {
     assert_eq!(dst.shape(), src.shape(), "mul_assign shape mismatch");
-    for (d, s) in dst.as_mut_slice().iter_mut().zip(src.as_slice()) {
-        *d *= *s;
-    }
+    znn_simd::mul_assign_f(dst.as_mut_slice(), src.as_slice());
 }
 
 /// `dst += src` for half-spectra (frequency-domain accumulation on the
@@ -108,9 +94,7 @@ pub fn mul_s(a: &Spectrum, b: &Spectrum) -> Spectrum {
         "mul_s logical shape mismatch"
     );
     let mut out = a.clone();
-    for (d, s) in out.half_mut().as_mut_slice().iter_mut().zip(b.half().as_slice()) {
-        *d *= *s;
-    }
+    znn_simd::mul_assign_c(out.half_mut().as_mut_slice(), b.half().as_slice());
     out
 }
 

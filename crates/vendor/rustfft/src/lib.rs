@@ -229,6 +229,78 @@ mod tests {
     }
 
     #[test]
+    fn simd_batched_lines_match_scalar_bitwise_on_every_5_smooth_length() {
+        // the SIMD tentpole pin: for every 5-smooth length, a buffer of
+        // 11 lines (8 through the batched AVX2 stage kernels + 3
+        // through the scalar remainder path) must equal the
+        // scalar-pinned plan *bitwise* — the vector butterflies perform
+        // the same IEEE ops in the same order per lane. On hosts
+        // without AVX2 both plans are scalar and this degenerates to a
+        // determinism check.
+        let mut planner = FftPlanner::new();
+        let mut covered = 0;
+        for n in 4..=360usize {
+            if !crate::planner::is_5_smooth(n) {
+                continue;
+            }
+            covered += 1;
+            for dir in [FftDirection::Forward, FftDirection::Inverse] {
+                let lines = 11usize;
+                let mut signal = Vec::with_capacity(lines * n);
+                for l in 0..lines {
+                    let line = test_signal(n);
+                    signal.extend(line.iter().map(|v| {
+                        Complex::new(v.re + l as f32 * 0.01, v.im - l as f32 * 0.02)
+                    }));
+                }
+                let plan = planner.plan_fft(n, dir);
+                let scalar_plan = planner.plan_fft_scalar(n, dir);
+                let mut simd = signal.clone();
+                let mut scratch =
+                    vec![Complex::new(0.0, 0.0); plan.get_inplace_scratch_len()];
+                plan.process_with_scratch(&mut simd, &mut scratch);
+                let mut scalar = signal;
+                let mut sscratch =
+                    vec![Complex::new(0.0, 0.0); scalar_plan.get_inplace_scratch_len()];
+                for chunk in scalar.chunks_mut(n) {
+                    scalar_plan.process_with_scratch(chunk, &mut sscratch);
+                }
+                assert_eq!(simd, scalar, "len {n} {dir:?}");
+            }
+        }
+        assert!(covered > 40, "5-smooth sweep too sparse: {covered}");
+    }
+
+    #[test]
+    fn simd_batch_boundary_is_unobservable() {
+        // processing 20 lines at once (2 full batches + 4 remainder)
+        // must equal processing them in any split — each line's result
+        // is independent of where the batch boundaries land
+        let mut planner = FftPlanner::new();
+        for n in [24usize, 60, 128] {
+            let plan = planner.plan_fft_forward(n);
+            let lines = 20usize;
+            let signal: Vec<Complex<f32>> = (0..lines * n)
+                .map(|i| {
+                    let a = ((i * 37 + 11) % 101) as f32 / 101.0 - 0.5;
+                    let b = ((i * 53 + 29) % 97) as f32 / 97.0 - 0.5;
+                    Complex::new(a, b)
+                })
+                .collect();
+            let mut scratch = vec![Complex::new(0.0, 0.0); plan.get_inplace_scratch_len()];
+            let mut whole = signal.clone();
+            plan.process_with_scratch(&mut whole, &mut scratch);
+            for split in [n, 8 * n, 12 * n] {
+                let mut parts = signal.clone();
+                let (lo, hi) = parts.split_at_mut(split);
+                plan.process_with_scratch(lo, &mut scratch);
+                plan.process_with_scratch(hi, &mut scratch);
+                assert_eq!(parts, whole, "len {n} split at {split}");
+            }
+        }
+    }
+
+    #[test]
     fn processes_every_chunk() {
         let mut planner = FftPlanner::new();
         // both algorithms must honor the batched-chunk contract (6 is

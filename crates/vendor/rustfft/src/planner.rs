@@ -72,4 +72,17 @@ impl FftPlanner<f32> {
     pub fn plan_fft_recursive(&mut self, len: usize, direction: FftDirection) -> Arc<dyn Fft<f32>> {
         Arc::new(MixedRadix::new(len, direction))
     }
+
+    /// Plan like [`plan_fft`](Self::plan_fft) but with the Stockham
+    /// kernels pinned to their scalar per-line path even when the host
+    /// has AVX2. Shim-only extra: the differential-test and bench
+    /// baseline the batched SIMD lines are compared against (output is
+    /// bitwise identical either way).
+    pub fn plan_fft_scalar(&mut self, len: usize, direction: FftDirection) -> Arc<dyn Fft<f32>> {
+        if len >= 2 && is_5_smooth(len) {
+            Arc::new(Stockham::new_scalar(len, direction))
+        } else {
+            Arc::new(MixedRadix::new(len, direction))
+        }
+    }
 }

@@ -33,6 +33,23 @@
 //! the 2^k stage sequences and arithmetic are unchanged from the
 //! radix-4/2-only engine. Lengths with prime factors larger than 5
 //! stay on the recursive fallback ([`crate::recursive::MixedRadix`]).
+//!
+//! # Batched SIMD lines
+//!
+//! When the process detects AVX2+FMA (via `znn-simd`) and the caller
+//! hands `process_with_scratch` a buffer of ≥ 8 independent lines,
+//! groups of 8 lines are transformed together: a gather shim
+//! transposes the interleaved lines into struct-of-arrays slabs (one
+//! 8-wide re vector + one im vector per element), the stage loop runs
+//! on 8-lane vectors, and a scatter shim transposes back. Each vector
+//! butterfly performs the *same IEEE operations in the same order* as
+//! the scalar stage above it (the only re-association is the exact
+//! `x + y = y + x` inside the complex product), so batched output is
+//! bitwise identical to the scalar per-line path — asserted by the
+//! `simd_*` differential tests. Leftover lines (`count % 8`) and
+//! non-AVX2 hosts take the scalar path; `Stockham::new_scalar` (used
+//! by `FftPlanner::plan_fft_scalar`) pins a plan to scalar for
+//! benchmarking and differential testing.
 
 use crate::twiddles::stage_table;
 use crate::{Fft, FftDirection};
@@ -103,16 +120,32 @@ pub(crate) struct Stockham {
     esign: f32,
     /// Stages in execution order.
     stages: Vec<Stage>,
+    /// Batch 8 lines through the AVX2 stage kernels when the buffer
+    /// allows it. Decided per *plan* (AVX2+FMA detected and not
+    /// suppressed), so scalar-pinned plans coexist with SIMD ones in
+    /// one process.
+    use_simd: bool,
 }
 
 impl Stockham {
     pub(crate) fn new(len: usize, direction: FftDirection) -> Self {
+        Self::with_simd(len, direction, true)
+    }
+
+    /// A plan pinned to the scalar per-line kernels regardless of
+    /// detected ISA — the differential-test and bench baseline.
+    pub(crate) fn new_scalar(len: usize, direction: FftDirection) -> Self {
+        Self::with_simd(len, direction, false)
+    }
+
+    fn with_simd(len: usize, direction: FftDirection, allow_simd: bool) -> Self {
         assert!(len >= 2, "Stockham::new needs len >= 2, got {len}");
         let sign = direction.sign();
         Stockham {
             len,
             esign: sign as f32,
             stages: plan_stages(len, sign),
+            use_simd: allow_simd && len >= 4 && znn_simd::isa() != znn_simd::Isa::Scalar,
         }
     }
 
@@ -355,6 +388,28 @@ impl Stockham {
             chunk.copy_from_slice(work);
         }
     }
+
+    /// Transform `buffer`'s lines in groups of 8 through the SIMD
+    /// stage kernels; leftover lines (`count % 8`) take the scalar
+    /// per-line path. Output is bitwise identical either way, so the
+    /// group boundary is unobservable.
+    #[cfg(target_arch = "x86_64")]
+    fn process_batched(&self, buffer: &mut [Complex<f32>], scratch: &mut [Complex<f32>]) {
+        let n = self.len;
+        let (work, slabs) = scratch.split_at_mut(n);
+        let floats = znn_simd::complex_as_floats_mut(&mut slabs[..16 * n]);
+        let (ping, pong) = floats.split_at_mut(16 * n);
+        let lines = buffer.len() / n;
+        let grouped = (lines / batch::LANES) * batch::LANES;
+        for group in buffer[..grouped * n].chunks_mut(batch::LANES * n) {
+            // SAFETY: `use_simd` (checked by the caller) implies
+            // AVX2+FMA were detected at runtime.
+            unsafe { batch::transform_batch(self, group, ping, pong) };
+        }
+        for chunk in buffer[grouped * n..].chunks_mut(n) {
+            self.transform_chunk(chunk, work);
+        }
+    }
 }
 
 impl Fft<f32> for Stockham {
@@ -366,10 +421,18 @@ impl Fft<f32> for Stockham {
             buffer.len()
         );
         assert!(
-            scratch.len() >= n,
-            "scratch too small: {} < {n}",
-            scratch.len()
+            scratch.len() >= self.get_inplace_scratch_len(),
+            "scratch too small: {} < {}",
+            scratch.len(),
+            self.get_inplace_scratch_len()
         );
+        #[cfg(target_arch = "x86_64")]
+        {
+            if self.use_simd && buffer.len() / n >= batch::LANES {
+                self.process_batched(buffer, scratch);
+                return;
+            }
+        }
         let work = &mut scratch[..n];
         for chunk in buffer.chunks_mut(n) {
             self.transform_chunk(chunk, work);
@@ -377,7 +440,14 @@ impl Fft<f32> for Stockham {
     }
 
     fn get_inplace_scratch_len(&self) -> usize {
-        self.len
+        // the SIMD path needs the scalar work line plus two 8-line
+        // struct-of-arrays slabs (8 complexes = 16 floats per element,
+        // ping + pong)
+        if self.use_simd {
+            17 * self.len
+        } else {
+            self.len
+        }
     }
 
     fn len(&self) -> usize {
@@ -387,5 +457,315 @@ impl Fft<f32> for Stockham {
     fn process(&self, buffer: &mut [Complex<f32>]) {
         let mut scratch = vec![Complex::new(0.0, 0.0); self.get_inplace_scratch_len()];
         self.process_with_scratch(buffer, &mut scratch);
+    }
+}
+
+/// 8-line struct-of-arrays batch kernels (AVX2+FMA).
+///
+/// Layout: element `t` of the 8 batched lines lives at slab float
+/// offsets `[16t, 16t+8)` (the 8 real parts, one per line) and
+/// `[16t+8, 16t+16)` (the 8 imaginary parts). Each `bstage*` mirrors
+/// the scalar stage of the same radix operation-for-operation on
+/// [`CF32x8`] vectors, so every lane computes exactly what the scalar
+/// path computes for that line.
+#[cfg(target_arch = "x86_64")]
+mod batch {
+    use super::{Stockham, C51, C52, S3, S51, S52};
+    use num_complex::Complex;
+    use znn_simd::x8::{transpose8x8, CF32x8, F32x8};
+
+    /// Lines per batch — the f32 lane count of one AVX2 vector.
+    pub(super) const LANES: usize = 8;
+
+    /// Loads the 8-lane complex vector for slab element `t`.
+    #[inline(always)]
+    unsafe fn cv_load(slab: *const f32, t: usize) -> CF32x8 {
+        CF32x8 {
+            re: F32x8::load(slab.add(16 * t)),
+            im: F32x8::load(slab.add(16 * t + 8)),
+        }
+    }
+
+    /// Stores the 8-lane complex vector for slab element `t`.
+    #[inline(always)]
+    unsafe fn cv_store(slab: *mut f32, t: usize, v: CF32x8) {
+        v.re.store(slab.add(16 * t));
+        v.im.store(slab.add(16 * t + 8));
+    }
+
+    /// Broadcasts one twiddle to all 8 lanes.
+    #[inline(always)]
+    unsafe fn cw(w: Complex<f32>) -> CF32x8 {
+        CF32x8 {
+            re: F32x8::splat(w.re),
+            im: F32x8::splat(w.im),
+        }
+    }
+
+    /// Transposes 8 interleaved lines into the struct-of-arrays slab:
+    /// 4-element blocks go through the in-register 8×8 float
+    /// transpose (each source row is 4 complexes = 8 floats), the
+    /// `n % 4` tail element-by-element.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn soa_gather(lines: &[Complex<f32>], slab: &mut [f32], n: usize) {
+        let lf = znn_simd::complex_as_floats(lines);
+        debug_assert_eq!(lf.len(), LANES * 2 * n);
+        debug_assert_eq!(slab.len(), 16 * n);
+        let lp = lf.as_ptr();
+        let sp = slab.as_mut_ptr();
+        let main = n - n % 4;
+        let mut t = 0;
+        while t < main {
+            let mut rows = [F32x8::zero(); 8];
+            for (l, r) in rows.iter_mut().enumerate() {
+                *r = F32x8::load(lp.add(l * 2 * n + 2 * t));
+            }
+            let cols = transpose8x8(rows);
+            for k in 0..4 {
+                cols[2 * k].store(sp.add(16 * (t + k)));
+                cols[2 * k + 1].store(sp.add(16 * (t + k) + 8));
+            }
+            t += 4;
+        }
+        for t in main..n {
+            for l in 0..LANES {
+                slab[16 * t + l] = lf[l * 2 * n + 2 * t];
+                slab[16 * t + 8 + l] = lf[l * 2 * n + 2 * t + 1];
+            }
+        }
+    }
+
+    /// Inverse of [`soa_gather`] (the 8×8 transpose is an involution).
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn soa_scatter(slab: &[f32], lines: &mut [Complex<f32>], n: usize) {
+        let lf = znn_simd::complex_as_floats_mut(lines);
+        debug_assert_eq!(lf.len(), LANES * 2 * n);
+        debug_assert_eq!(slab.len(), 16 * n);
+        let sp = slab.as_ptr();
+        let lp = lf.as_mut_ptr();
+        let main = n - n % 4;
+        let mut t = 0;
+        while t < main {
+            let mut cols = [F32x8::zero(); 8];
+            for k in 0..4 {
+                cols[2 * k] = F32x8::load(sp.add(16 * (t + k)));
+                cols[2 * k + 1] = F32x8::load(sp.add(16 * (t + k) + 8));
+            }
+            let rows = transpose8x8(cols);
+            for (l, r) in rows.iter().enumerate() {
+                r.store(lp.add(l * 2 * n + 2 * t));
+            }
+            t += 4;
+        }
+        for t in main..n {
+            for l in 0..LANES {
+                lf[l * 2 * n + 2 * t] = slab[16 * t + l];
+                lf[l * 2 * n + 2 * t + 1] = slab[16 * t + 8 + l];
+            }
+        }
+    }
+
+    /// Radix-2 batch stage — scheduled last, twiddle-free (see the
+    /// scalar `stage2`).
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn bstage2(src: *const f32, dst: *mut f32, s: usize) {
+        for q in 0..s {
+            let a = cv_load(src, q);
+            let b = cv_load(src, s + q);
+            cv_store(dst, q, a.add(b));
+            cv_store(dst, s + q, a.sub(b));
+        }
+    }
+
+    /// Radix-3 batch stage — the scalar `stage3`, 8 lines per op.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn bstage3(
+        src: *const f32,
+        dst: *mut f32,
+        n: usize,
+        s: usize,
+        tw: &[Complex<f32>],
+        esign: f32,
+    ) {
+        let n1 = n / (3 * s);
+        let half = F32x8::splat(0.5);
+        let pk = F32x8::splat(esign * S3);
+        let nk = F32x8::splat(-esign * S3);
+        for p in 0..n1 {
+            let w1 = cw(tw[2 * p]);
+            let w2 = cw(tw[2 * p + 1]);
+            for q in 0..s {
+                let a = cv_load(src, s * p + q);
+                let b = cv_load(src, s * (p + n1) + q);
+                let c = cv_load(src, s * (p + 2 * n1) + q);
+                let t = b.add(c);
+                let m = CF32x8 {
+                    re: a.re.sub(half.mul(t.re)),
+                    im: a.im.sub(half.mul(t.im)),
+                };
+                let bmc = b.sub(c);
+                let jt = CF32x8 {
+                    re: nk.mul(bmc.im),
+                    im: pk.mul(bmc.re),
+                };
+                let base = 3 * s * p;
+                cv_store(dst, base + q, a.add(t));
+                let y1 = m.add(jt);
+                let y2 = m.sub(jt);
+                cv_store(dst, base + s + q, y1.mul(w1));
+                cv_store(dst, base + 2 * s + q, y2.mul(w2));
+            }
+        }
+    }
+
+    /// Radix-4 batch stage — the scalar `stage4`, 8 lines per op.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn bstage4(
+        src: *const f32,
+        dst: *mut f32,
+        n: usize,
+        s: usize,
+        tw: &[Complex<f32>],
+        esign: f32,
+    ) {
+        let n1 = n / (4 * s);
+        let pk = F32x8::splat(esign);
+        let nk = F32x8::splat(-esign);
+        for p in 0..n1 {
+            let w1 = cw(tw[3 * p]);
+            let w2 = cw(tw[3 * p + 1]);
+            let w3 = cw(tw[3 * p + 2]);
+            for q in 0..s {
+                let a = cv_load(src, s * p + q);
+                let b = cv_load(src, s * (p + n1) + q);
+                let c = cv_load(src, s * (p + 2 * n1) + q);
+                let d = cv_load(src, s * (p + 3 * n1) + q);
+                let apc = a.add(c);
+                let amc = a.sub(c);
+                let bpd = b.add(d);
+                let bmd = b.sub(d);
+                let jt = CF32x8 {
+                    re: nk.mul(bmd.im),
+                    im: pk.mul(bmd.re),
+                };
+                let base = 4 * s * p;
+                cv_store(dst, base + q, apc.add(bpd));
+                let y1 = amc.add(jt);
+                let y3 = amc.sub(jt);
+                cv_store(dst, base + s + q, y1.mul(w1));
+                let y2 = apc.sub(bpd);
+                cv_store(dst, base + 2 * s + q, y2.mul(w2));
+                cv_store(dst, base + 3 * s + q, y3.mul(w3));
+            }
+        }
+    }
+
+    /// Radix-5 batch stage — the scalar `stage5`, 8 lines per op.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn bstage5(
+        src: *const f32,
+        dst: *mut f32,
+        n: usize,
+        s: usize,
+        tw: &[Complex<f32>],
+        esign: f32,
+    ) {
+        let n1 = n / (5 * s);
+        let c51 = F32x8::splat(C51);
+        let c52 = F32x8::splat(C52);
+        let s51 = F32x8::splat(S51);
+        let s52 = F32x8::splat(S52);
+        let pk = F32x8::splat(esign);
+        let nk = F32x8::splat(-esign);
+        for p in 0..n1 {
+            let w1 = cw(tw[4 * p]);
+            let w2 = cw(tw[4 * p + 1]);
+            let w3 = cw(tw[4 * p + 2]);
+            let w4 = cw(tw[4 * p + 3]);
+            for q in 0..s {
+                let a = cv_load(src, s * p + q);
+                let b = cv_load(src, s * (p + n1) + q);
+                let c = cv_load(src, s * (p + 2 * n1) + q);
+                let d = cv_load(src, s * (p + 3 * n1) + q);
+                let e = cv_load(src, s * (p + 4 * n1) + q);
+                let t1 = b.add(e);
+                let t2 = c.add(d);
+                let t3 = b.sub(e);
+                let t4 = c.sub(d);
+                let m1 = CF32x8 {
+                    re: a.re.add(c51.mul(t1.re)).add(c52.mul(t2.re)),
+                    im: a.im.add(c51.mul(t1.im)).add(c52.mul(t2.im)),
+                };
+                let m2 = CF32x8 {
+                    re: a.re.add(c52.mul(t1.re)).add(c51.mul(t2.re)),
+                    im: a.im.add(c52.mul(t1.im)).add(c51.mul(t2.im)),
+                };
+                let u1 = CF32x8 {
+                    re: s51.mul(t3.re).add(s52.mul(t4.re)),
+                    im: s51.mul(t3.im).add(s52.mul(t4.im)),
+                };
+                let u2 = CF32x8 {
+                    re: s52.mul(t3.re).sub(s51.mul(t4.re)),
+                    im: s52.mul(t3.im).sub(s51.mul(t4.im)),
+                };
+                let j1 = CF32x8 {
+                    re: nk.mul(u1.im),
+                    im: pk.mul(u1.re),
+                };
+                let j2 = CF32x8 {
+                    re: nk.mul(u2.im),
+                    im: pk.mul(u2.re),
+                };
+                let base = 5 * s * p;
+                cv_store(dst, base + q, a.add(t1).add(t2));
+                let y1 = m1.add(j1);
+                let y2 = m2.add(j2);
+                let y3 = m2.sub(j2);
+                let y4 = m1.sub(j1);
+                cv_store(dst, base + s + q, y1.mul(w1));
+                cv_store(dst, base + 2 * s + q, y2.mul(w2));
+                cv_store(dst, base + 3 * s + q, y3.mul(w3));
+                cv_store(dst, base + 4 * s + q, y4.mul(w4));
+            }
+        }
+    }
+
+    /// Transforms 8 interleaved lines (`lines.len() == 8·n`) through
+    /// the batched stage loop: gather to struct-of-arrays, ping-pong
+    /// the stages between the two slabs, scatter back.
+    ///
+    /// # Safety
+    /// AVX2 and FMA must be available (the `use_simd` plan flag
+    /// guarantees it was detected at runtime).
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn transform_batch(
+        fft: &Stockham,
+        lines: &mut [Complex<f32>],
+        ping: &mut [f32],
+        pong: &mut [f32],
+    ) {
+        let n = fft.len;
+        debug_assert_eq!(lines.len(), LANES * n);
+        soa_gather(lines, ping, n);
+        let mut s = 1usize;
+        let mut in_ping = true;
+        for stage in &fft.stages {
+            let (src, dst) = if in_ping {
+                (ping.as_ptr(), pong.as_mut_ptr())
+            } else {
+                (pong.as_ptr(), ping.as_mut_ptr())
+            };
+            match stage.radix {
+                2 => bstage2(src, dst, s),
+                3 => bstage3(src, dst, n, s, &stage.twiddles, fft.esign),
+                4 => bstage4(src, dst, n, s, &stage.twiddles, fft.esign),
+                5 => bstage5(src, dst, n, s, &stage.twiddles, fft.esign),
+                r => unreachable!("unplanned radix {r}"),
+            }
+            in_ping = !in_ping;
+            s *= stage.radix as usize;
+        }
+        let result: &[f32] = if in_ping { ping } else { pong };
+        soa_scatter(result, lines, n);
     }
 }
