@@ -6,7 +6,12 @@
 //! real engine under each queue policy on this machine's threads.
 //! `--smoke` shrinks the networks and rounds so CI can keep this bin
 //! building and running without paying for the full ablation.
+//!
+//! Emits `BENCH_sched.json` — simulated makespans per policy per
+//! network plus the host rows — so the scheduling trajectory is
+//! tracked across PRs like every other bench bin.
 
+use std::fmt::Write as _;
 use znn_bench::{fmt, header, row, time_per_round};
 use znn_core::{ConvPolicy, TrainConfig, Znn};
 use znn_graph::builder::{scalability_net_2d, scalability_net_3d};
@@ -22,13 +27,19 @@ fn main() {
     let sim_rounds = if smoke { 1 } else { 2 };
     println!("# §X — scheduling ablation (simulated makespan, lower is better)\n");
     let machine = Machine::xeon_e5_18core();
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"sim_machine\": \"{}\",", machine.name);
+    let _ = writeln!(json, "  \"sim_workers\": 18,");
+    json.push_str("  \"simulated\": [\n");
     header(&["network", "priority", "fifo", "lifo", "binary-heap"]);
-    for (name, tgc) in [
-        (format!("2D width {width}"), {
+    let mut recs = Vec::new();
+    for (name, key, tgc) in [
+        (format!("2D width {width}"), "net2d", {
             let (g, _) = scalability_net_2d(width);
             task_costs(&g, Vec3::flat(48, 48), ConvAlgorithm::Fft, true).unwrap()
         }),
-        (format!("3D width {width}"), {
+        (format!("3D width {width}"), "net3d", {
             let (g, _) = scalability_net_3d(width);
             task_costs(&g, Vec3::cube(12), ConvAlgorithm::Direct, false).unwrap()
         }),
@@ -48,14 +59,20 @@ fn main() {
             )
             .makespan
         };
-        row(&[
-            name.clone(),
-            fmt(run(QueuePolicy::Priority)),
-            fmt(run(QueuePolicy::Fifo)),
-            fmt(run(QueuePolicy::Lifo)),
-            fmt(run(QueuePolicy::BinaryHeap)),
-        ]);
+        let (pri, fifo, lifo, heap) = (
+            run(QueuePolicy::Priority),
+            run(QueuePolicy::Fifo),
+            run(QueuePolicy::Lifo),
+            run(QueuePolicy::BinaryHeap),
+        );
+        row(&[name.clone(), fmt(pri), fmt(fifo), fmt(lifo), fmt(heap)]);
+        recs.push(format!(
+            "    {{\"net\": \"{key}\", \"width\": {width}, \"priority_s\": {pri:.6e}, \
+             \"fifo_s\": {fifo:.6e}, \"lifo_s\": {lifo:.6e}, \"binary_heap_s\": {heap:.6e}}}"
+        ));
     }
+    json.push_str(&recs.join(",\n"));
+    json.push_str("\n  ],\n");
     println!("\n(binary-heap shares the priority *order* — same makespan — but");
     println!("pays O(log N) per queue op instead of O(log K); see the `queue`");
     println!("criterion bench for the data-structure cost.)\n");
@@ -69,6 +86,8 @@ fn main() {
         &[QueuePolicy::Priority, QueuePolicy::Fifo, QueuePolicy::Lifo]
     };
     let (warm, reps) = if smoke { (0, 1) } else { (1, 4) };
+    json.push_str("  \"host\": [\n");
+    let mut recs = Vec::new();
     for &policy in policies {
         let cfg = TrainConfig {
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
@@ -83,5 +102,18 @@ fn main() {
             znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
         });
         row(&[format!("{policy:?}"), fmt(dt)]);
+        recs.push(format!(
+            "    {{\"policy\": \"{policy:?}\", \"s_per_update\": {dt:.6e}}}"
+        ));
+    }
+    json.push_str(&recs.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    match std::fs::write("BENCH_sched.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_sched.json"),
+        Err(e) => {
+            eprintln!("\ncould not write BENCH_sched.json: {e}");
+            std::process::exit(1);
+        }
     }
 }

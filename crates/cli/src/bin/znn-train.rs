@@ -3,7 +3,8 @@
 //!
 //! ```sh
 //! znn-train --spec net.znn --out 8 --rounds 50 --lr 0.01 \
-//!           [--workers N] [--fft-threads N] [--fft|--direct] \
+//!           [--workers N] [--fft-threads N] [--plan auto|off] \
+//!           [--fft|--direct] \
 //!           [--no-memoize] [--no-pool] [--stealing] [--pool-report] \
 //!           [--checkpoint-dir D] [--checkpoint-every N] [--resume]
 //! ```
@@ -11,6 +12,13 @@
 //! `--fft-threads` caps intra-transform FFT parallelism; by default
 //! transforms share the scheduler's worker budget (idle workers donate
 //! themselves to FFT line chunks).
+//!
+//! `--plan auto` enables the `znn-plan` cost-model planner: per conv
+//! edge it picks direct vs FFT, the pad shape, and the FFT fan-out by
+//! pricing the theory FLOP model through a detected machine model,
+//! then calibrates that model online from measured round times
+//! (re-plans move only the bit-safe fan-out). The chosen plan and the
+//! calibration summary are printed. A plan overrides `--fft`/`--direct`.
 //!
 //! `--no-pool` disables the §VII-C pooled allocator (hot-path buffers
 //! fall back to plain `Vec`s); by default every image/spectrum buffer
@@ -31,8 +39,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use znn_cli::parse_spec;
 use znn_core::{
-    BlobsDataset, CheckpointConfig, ConvPolicy, LrSchedule, TrainConfig, TrainOutcome, Trainer,
-    Znn,
+    BlobsDataset, CheckpointConfig, ConvPolicy, LrSchedule, PlanPolicy, TrainConfig, TrainOutcome,
+    Trainer, Znn,
 };
 use znn_ops::Loss;
 use znn_tensor::Vec3;
@@ -55,6 +63,7 @@ struct Args {
     lr: f32,
     workers: Option<usize>,
     fft_threads: Option<usize>,
+    plan: bool,
     conv: ConvPolicy,
     memoize: bool,
     stealing: bool,
@@ -68,7 +77,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: znn-train [--spec FILE] [--out N] [--rounds N] [--lr F]\n\
-         \t[--workers N] [--fft-threads N] [--fft|--direct]\n\
+         \t[--workers N] [--fft-threads N] [--plan auto|off] [--fft|--direct]\n\
          \t[--no-memoize] [--no-pool] [--stealing] [--pool-report]\n\
          \t[--checkpoint-dir D] [--checkpoint-every N] [--resume]"
     );
@@ -83,6 +92,7 @@ fn parse_args() -> Args {
         lr: 0.01,
         workers: None,
         fft_threads: None,
+        plan: false,
         conv: ConvPolicy::Autotune,
         memoize: true,
         stealing: false,
@@ -104,6 +114,11 @@ fn parse_args() -> Args {
             "--fft-threads" => {
                 args.fft_threads = Some(val().parse().unwrap_or_else(|_| usage()))
             }
+            "--plan" => match val().as_str() {
+                "auto" => args.plan = true,
+                "off" => args.plan = false,
+                _ => usage(),
+            },
             "--fft" => args.conv = ConvPolicy::ForceFft,
             "--direct" => args.conv = ConvPolicy::ForceDirect,
             "--no-memoize" => args.memoize = false,
@@ -159,11 +174,23 @@ fn main() -> ExitCode {
         }
         cc
     });
+    let planner = args.plan.then(|| {
+        let p = std::sync::Arc::new(znn_plan::Planner::new(znn_plan::PlanConfig::host()));
+        let m = &p.config().machine;
+        println!(
+            "planner: machine prior {} ({} cores, {:.1} GFLOP/s, {:.1} GB/s)",
+            m.name, m.cores, m.gflops, m.bandwidth_gbs
+        );
+        p
+    });
     let cfg = TrainConfig {
         workers: args.workers.unwrap_or_else(|| {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         }),
         fft_threads: args.fft_threads,
+        plan: planner
+            .as_ref()
+            .map(|p| PlanPolicy::Auto(std::sync::Arc::clone(p))),
         learning_rate: args.lr,
         conv: args.conv,
         memoize_fft: args.memoize,
@@ -182,6 +209,19 @@ fn main() -> ExitCode {
         }
     };
     println!("input {} -> output {out_shape}", znn.input_shape());
+    if let Some(plan) = znn.net_plan() {
+        let (direct, fft) = plan.edges.iter().flatten().fold((0, 0), |(d, f), ep| {
+            match ep.method {
+                znn_ops::ConvMethod::Direct => (d + 1, f),
+                znn_ops::ConvMethod::Fft => (d, f + 1),
+            }
+        });
+        println!(
+            "plan: {direct} direct / {fft} FFT conv edges, fft_threads {}, \
+             predicted round {:.0}µs",
+            plan.fft_threads, plan.predicted_round_us
+        );
+    }
 
     let data = BlobsDataset {
         input_shape: znn.input_shape(),
@@ -239,6 +279,20 @@ fn main() -> ExitCode {
             stats.alloc_resident_bytes,
             stats.alloc_leased_bytes
         );
+    }
+    if let Some(planner) = &planner {
+        let cal = planner.calibration();
+        if let Some(last) = cal.rounds.last() {
+            println!(
+                "planner calibration: scale {:.2} after {} rounds ({} re-plans), \
+                 last round predicted {:.0}µs / measured {:.0}µs",
+                cal.scale,
+                cal.rounds.len(),
+                cal.replans,
+                last.predicted_us,
+                last.measured_us
+            );
+        }
     }
     if args.pool_report {
         if args.pool {

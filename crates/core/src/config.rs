@@ -76,6 +76,36 @@ pub enum ConvPolicy {
     ForceFft,
 }
 
+/// How the engine obtains its execution plan (method, pad, fan-out
+/// per conv edge) when cost-model planning is enabled
+/// ([`TrainConfig::plan`]).
+///
+/// A plan *overrides* [`ConvPolicy`]: with a plan present the
+/// per-edge methods and pads come from the plan and `conv` is
+/// ignored. Without one (`plan: None`, the default) the engine keeps
+/// its legacy behaviour — `ConvPolicy` methods, `good_shape` pads,
+/// the configured `fft_threads` fan-out.
+#[derive(Clone, Debug)]
+pub enum PlanPolicy {
+    /// Plan at construction by pricing the `znn-theory` FLOP model
+    /// through the planner's `znn-sim` machine model, then calibrate
+    /// that model online from measured round times and re-plan the
+    /// `fft_threads` fan-out when predictions drift (bit-safe: the
+    /// fan-out is pinned bitwise-identical across all values). Share
+    /// the [`znn_plan::Planner`] to read its calibration trajectory.
+    Auto(Arc<znn_plan::Planner>),
+    /// Execute a fixed, externally supplied plan — reproducing a
+    /// previously reported plan, or pinning one strategy for A/B
+    /// comparison. No calibration, no re-planning.
+    ///
+    /// Pads must be valid engine transform shapes: at least the
+    /// from-node shape on every axis, even (or unit) packed axis, and
+    /// shared by all out-edges of a node (use
+    /// [`znn_plan::NetPlan::force`] or a planner-produced plan; the
+    /// engine panics at construction on an invalid pad).
+    Fixed(Arc<znn_plan::NetPlan>),
+}
+
 /// Training-engine configuration.
 #[derive(Clone, Debug)]
 pub struct TrainConfig {
@@ -101,8 +131,12 @@ pub struct TrainConfig {
     pub momentum: f32,
     /// L2 weight decay coefficient (0 disables).
     pub weight_decay: f32,
-    /// Convolution method selection.
+    /// Convolution method selection (ignored when [`TrainConfig::plan`]
+    /// is set — the plan carries per-edge methods).
     pub conv: ConvPolicy,
+    /// Cost-model execution planning; `None` (the default) keeps the
+    /// legacy [`ConvPolicy`]-driven behaviour.
+    pub plan: Option<PlanPolicy>,
     /// Memoize FFTs of images and kernels across passes (Table II).
     pub memoize_fft: bool,
     /// Loss function.
@@ -146,6 +180,7 @@ impl Default for TrainConfig {
             momentum: 0.0,
             weight_decay: 0.0,
             conv: ConvPolicy::Autotune,
+            plan: None,
             memoize_fft: true,
             loss: Loss::Mse,
             dropout: None,
@@ -180,6 +215,7 @@ mod tests {
         let c = TrainConfig::default();
         assert!(c.workers >= 1);
         assert_eq!(c.conv, ConvPolicy::Autotune);
+        assert!(c.plan.is_none(), "planning is opt-in");
         assert!(c.memoize_fft);
         assert!(c.dropout.is_none());
         // FFT line parallelism shares the scheduler's budget by default

@@ -37,6 +37,7 @@ use znn_graph::{shapes, EdgeOp, Graph, GraphError};
 use znn_ops::filter::{max_filter, FilterImpl};
 use znn_ops::pool::max_pool;
 use znn_ops::{conv, convolver, ConvMethod};
+use znn_plan::Planner;
 use znn_tensor::{ops, pad, Image, Spectrum, Vec3};
 
 /// Configuration for a [`DenseNet`].
@@ -55,6 +56,14 @@ pub struct DenseConfig {
     /// default — this is the read-only-after-warmup cache servers
     /// share across requests.
     pub memoize_spectra: bool,
+    /// Route the serving-side method cache through a cost-model
+    /// planner instead of measurement: under `ConvPolicy::Autotune`
+    /// each new geometry is *priced* ([`Planner::choose_forward`])
+    /// rather than timed — no warmup convolutions on the serving path,
+    /// deterministic choices, and pads follow the planner's
+    /// radix-aware pad model. Forced policies still force. `None`
+    /// (the default) keeps the measurement-based autotune.
+    pub planner: Option<Arc<Planner>>,
 }
 
 impl Default for DenseConfig {
@@ -64,6 +73,7 @@ impl Default for DenseConfig {
             pools: Some(PoolSet::global()),
             fft_threads: 1,
             memoize_spectra: true,
+            planner: None,
         }
     }
 }
@@ -409,7 +419,12 @@ impl DenseNet {
                 if let Some(&m) = self.methods.lock().get(&(n, k, sparsity)) {
                     return m;
                 }
-                let m = convolver::autotune(n, k, sparsity, &self.fft, 1);
+                // cost model when a planner is routed in (no timing
+                // runs on the serving path), measurement otherwise
+                let m = match &self.cfg.planner {
+                    Some(p) => p.choose_forward(n, k, sparsity).0,
+                    None => convolver::autotune(n, k, sparsity, &self.fft, 1),
+                };
                 *self.methods.lock().entry((n, k, sparsity)).or_insert(m)
             }
         }
@@ -459,7 +474,14 @@ impl DenseNet {
                         out
                     }
                     ConvMethod::Fft => {
-                        let m = transform_shape(input.shape());
+                        // the planner's pad model when routed in (it
+                        // may prefer a pow2 pad where the radix mix
+                        // favours it), the engine default otherwise;
+                        // both satisfy the packed-even invariant
+                        let m = match &self.cfg.planner {
+                            Some(p) => p.pad_for(input.shape()),
+                            None => transform_shape(input.shape()),
+                        };
                         let x_spec = match node_spec {
                             Some((cached_m, s)) if *cached_m == m => Arc::clone(s),
                             _ => {

@@ -1,12 +1,13 @@
 //! The task-parallel training engine.
 
-use crate::config::{ConvPolicy, TrainConfig};
+use crate::config::{ConvPolicy, PlanPolicy, TrainConfig};
 use crate::state::{Contribution, ConvEdge, EdgeState, FreqPlan, MaxEdge, NodeState, TransferEdge};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use znn_fault::FaultKind;
 use znn_fft::{good_shape, spectra, FftEngine};
 use znn_graph::init::{bias_init, kernel_init, ParamSet};
@@ -14,6 +15,7 @@ use znn_graph::{priority, shapes, EdgeId, EdgeOp, Graph, NodeId};
 use znn_ops::filter::{max_filter, max_filter_backward, FilterImpl};
 use znn_ops::pool::{max_pool, max_pool_backward};
 use znn_ops::{conv, convolver, ConvMethod};
+use znn_plan::{NetPlan, Planner};
 use znn_sched::{Executor, Latch, Scheduler, StealingExecutor, UPDATE_PRIORITY};
 use znn_tensor::{ops, Image, Spectrum, Tensor3, Vec3};
 
@@ -75,6 +77,10 @@ pub struct RoundStats {
     /// Detached fork-join spawns that panicked (recorded by the rayon
     /// shim instead of being silently discarded).
     pub detached_panics: u64,
+    /// Wall time of the last completed training round, µs (0 before
+    /// the first round). This is the measurement the `znn-plan`
+    /// calibrator consumes when [`crate::PlanPolicy::Auto`] is active.
+    pub round_us: u64,
 }
 
 impl RoundStats {
@@ -143,6 +149,15 @@ struct Inner {
     panic_note: Mutex<Option<String>>,
     /// Engine-contained task panics since construction.
     task_panics: AtomicU64,
+    /// The resolved execution plan, when planning is enabled.
+    net_plan: Option<Arc<NetPlan>>,
+    /// The live planner behind `PlanPolicy::Auto` — fed each round's
+    /// measured wall time; its re-plans move the FFT fan-out.
+    planner: Option<Arc<Planner>>,
+    /// Construction-time fan-out cap; re-plans never exceed it.
+    fft_budget: usize,
+    /// Wall time of the last completed round, µs.
+    last_round_us: AtomicU64,
 }
 
 /// A training round that was poisoned by a panicking task. By the time
@@ -214,29 +229,99 @@ impl Znn {
         // defaults to the scheduler's worker count and is routed from
         // the training config.
         let fft_pool = Arc::new(rayon::ThreadPool::donor_only());
-        let fft_threads = cfg.fft_threads.unwrap_or(cfg.workers).max(1);
+        let fft_budget = cfg.fft_threads.unwrap_or(cfg.workers).max(1);
         // one memory budget too: every engine-allocated buffer (spectra,
         // padded inputs, cropped outputs, scratch) leases from the
         // configured PoolSet, so steady-state rounds never touch the
         // system allocator (§VII-C)
-        let mut fft = FftEngine::with_pool(fft_threads, Arc::clone(&fft_pool));
+        let mut fft = FftEngine::with_pool(fft_budget, Arc::clone(&fft_pool));
         if let Some(pools) = &cfg.pools {
             fft = fft.with_buffer_pools(Arc::clone(pools));
         }
         let fft = Arc::new(fft);
-        // decide the convolution method per distinct layer geometry (§IV)
+
+        // resolve the execution plan before any per-edge state exists:
+        // Auto prices the theory FLOP model through the planner's
+        // machine model; Fixed takes the caller's plan verbatim
+        let (planner, net_plan): (Option<Arc<Planner>>, Option<Arc<NetPlan>>) = match &cfg.plan {
+            None => (None, None),
+            Some(PlanPolicy::Auto(p)) => {
+                let plan = Arc::new(p.plan(&graph, output_shape, cfg.workers, fft_budget)?);
+                (Some(Arc::clone(p)), Some(plan))
+            }
+            Some(PlanPolicy::Fixed(plan)) => (None, Some(Arc::clone(plan))),
+        };
+        if let Some(plan) = &net_plan {
+            assert_eq!(
+                plan.edges.len(),
+                graph.edge_count(),
+                "plan must have one entry per graph edge"
+            );
+            fft.set_threads(plan.fft_threads.min(fft_budget));
+        }
+
+        // the scheduler exists before any method decision so its idle
+        // workers already donate to the fork-join pool: the
+        // measurement-based autotune fallback below times convolutions
+        // at the engine's real parallel width (it used to run before
+        // donors existed, which silently measured every candidate
+        // serially regardless of the configured fft_threads budget)
+        let sched = if cfg.work_stealing {
+            Pool::Stealing(StealingExecutor::with_donation(
+                cfg.workers,
+                Arc::clone(&fft_pool),
+            ))
+        } else {
+            Pool::Queue(Executor::with_donation(
+                cfg.workers,
+                cfg.queue,
+                Arc::clone(&fft_pool),
+            ))
+        };
+
+        // decide method and pad per conv edge: from the plan when one
+        // is present, else per distinct layer geometry (§IV) via the
+        // legacy policy
         let mut method_cache: HashMap<(Vec3, Vec3, Vec3), ConvMethod> = HashMap::new();
         let mut edge_method = vec![ConvMethod::Direct; graph.edge_count()];
+        let mut edge_pad: Vec<Vec3> = graph
+            .edges()
+            .iter()
+            .map(|e| transform_shape(node_shape[e.from.0]))
+            .collect();
         for (i, e) in graph.edges().iter().enumerate() {
             if let EdgeOp::Conv { kernel, sparsity } = e.op {
                 let n = node_shape[e.from.0];
-                let key = (n, kernel, sparsity);
-                let m = *method_cache.entry(key).or_insert_with(|| match cfg.conv {
-                    ConvPolicy::ForceDirect => ConvMethod::Direct,
-                    ConvPolicy::ForceFft => ConvMethod::Fft,
-                    ConvPolicy::Autotune => convolver::autotune(n, kernel, sparsity, &fft, 1),
-                });
-                edge_method[i] = m;
+                match &net_plan {
+                    Some(plan) => {
+                        let ep = plan.edges[i].unwrap_or_else(|| {
+                            panic!("plan is missing an entry for conv edge {i}")
+                        });
+                        assert!(
+                            n.le(ep.pad),
+                            "plan pad {} for edge {i} is smaller than its image {n}",
+                            ep.pad
+                        );
+                        assert!(
+                            Spectrum::packed_axis_is_even(ep.pad),
+                            "plan pad {} for edge {i} has an odd packed axis",
+                            ep.pad
+                        );
+                        edge_method[i] = ep.method;
+                        edge_pad[i] = ep.pad;
+                    }
+                    None => {
+                        let key = (n, kernel, sparsity);
+                        let m = *method_cache.entry(key).or_insert_with(|| match cfg.conv {
+                            ConvPolicy::ForceDirect => ConvMethod::Direct,
+                            ConvPolicy::ForceFft => ConvMethod::Fft,
+                            ConvPolicy::Autotune => {
+                                convolver::autotune(n, kernel, sparsity, &fft, 1)
+                            }
+                        });
+                        edge_method[i] = m;
+                    }
+                }
             }
         }
 
@@ -254,7 +339,7 @@ impl Znn {
                     update: znn_sched::UpdateHandle::new(),
                     k: kernel,
                     sparsity,
-                    m: transform_shape(node_shape[e.from.0]),
+                    m: edge_pad[i],
                 }),
                 EdgeOp::Transfer { function } => EdgeState::Transfer(TransferEdge {
                     bias: Mutex::new(bias_init(cfg.seed, EdgeId(i))),
@@ -317,18 +402,32 @@ impl Znn {
                 }
             }
             nodes[i].fwd_freq = fwd_plan;
-            // backward: all out-edges FFT convs (transform shape is
-            // good(this node's shape) for each, crop at origin)
+            // backward: all out-edges FFT convs *sharing* a transform
+            // shape (always true for planner pads, which are keyed per
+            // node; a hand-built Fixed plan with divergent pads merely
+            // loses the frequency-domain sum, not correctness)
             let eligible_bwd = !node.out_edges.is_empty()
                 && node.out_edges.iter().all(|&e| {
                     matches!(&edges[e.0], EdgeState::Conv(c) if c.method == ConvMethod::Fft)
                 });
             if eligible_bwd {
-                nodes[i].bwd_freq = Some(FreqPlan {
-                    m: transform_shape(node_shape[i]),
-                    crop_at: Vec3::zero(),
-                    out_shape: node_shape[i],
-                });
+                let ms: Vec<Vec3> = node
+                    .out_edges
+                    .iter()
+                    .map(|&e| {
+                        let EdgeState::Conv(c) = &edges[e.0] else {
+                            unreachable!()
+                        };
+                        c.m
+                    })
+                    .collect();
+                if ms.windows(2).all(|w| w[0] == w[1]) {
+                    nodes[i].bwd_freq = Some(FreqPlan {
+                        m: ms[0],
+                        crop_at: Vec3::zero(),
+                        out_shape: node_shape[i],
+                    });
+                }
             }
         }
 
@@ -343,18 +442,6 @@ impl Znn {
 
         let outputs = graph.outputs().len();
         let inputs = graph.inputs().len();
-        let sched = if cfg.work_stealing {
-            Pool::Stealing(StealingExecutor::with_donation(
-                cfg.workers,
-                Arc::clone(&fft_pool),
-            ))
-        } else {
-            Pool::Queue(Executor::with_donation(
-                cfg.workers,
-                cfg.queue,
-                Arc::clone(&fft_pool),
-            ))
-        };
         let inner = Arc::new(Inner {
             graph,
             node_shape,
@@ -373,6 +460,10 @@ impl Znn {
             round_failed: AtomicBool::new(false),
             panic_note: Mutex::new(None),
             task_panics: AtomicU64::new(0),
+            net_plan,
+            planner,
+            fft_budget,
+            last_round_us: AtomicU64::new(0),
         });
         // latches start "open" until a round arms them
         for _ in 0..outputs {
@@ -450,6 +541,7 @@ impl Znn {
     /// back as [`RoundError`].
     pub fn try_train_step(&self, inputs: &[Image], targets: &[Image]) -> Result<f64, RoundError> {
         self.inner.training.store(true, Ordering::Release);
+        let round_start = Instant::now();
         let round = self.inner.round.fetch_add(1, Ordering::Relaxed) + 1;
         self.run_forward(inputs);
         if self.inner.round_failed.load(Ordering::Acquire) {
@@ -501,7 +593,31 @@ impl Znn {
         if self.inner.round_failed.load(Ordering::Acquire) {
             return Err(self.fail_round(round));
         }
+        // feed the measured round back into the planner's calibration
+        // loop; a returned fan-out is applied live — bit-safe, because
+        // transforms are pinned identical across every fft_threads
+        let us = round_start.elapsed().as_micros() as u64;
+        self.inner.last_round_us.store(us, Ordering::Relaxed);
+        if let Some(planner) = &self.inner.planner {
+            if let Some(fan) = planner.observe(us as f64) {
+                self.inner.fft.set_threads(fan.min(self.inner.fft_budget));
+            }
+        }
         Ok(loss_total)
+    }
+
+    /// The resolved execution plan, when [`crate::PlanPolicy`] planning
+    /// is enabled (`None` under the legacy [`ConvPolicy`] path). Note
+    /// the *plan* is frozen at construction; only the FFT fan-out
+    /// moves when the `Auto` calibrator re-plans.
+    pub fn net_plan(&self) -> Option<&Arc<NetPlan>> {
+        self.inner.net_plan.as_ref()
+    }
+
+    /// The live fan-out cap of the engine's FFT engine (moves when the
+    /// `Auto` planner re-plans; otherwise the configured budget).
+    pub fn fft_threads(&self) -> usize {
+        self.inner.fft.threads()
     }
 
     /// Recovery + bookkeeping for a poisoned round: restores engine
@@ -688,6 +804,7 @@ impl Znn {
             // disjoint populations and sum cleanly
             task_panics: self.inner.task_panics.load(Ordering::Relaxed) + s.task_panics,
             detached_panics: s.detached_panics,
+            round_us: self.inner.last_round_us.load(Ordering::Relaxed),
             ..Default::default()
         };
         if let Some(pools) = &self.inner.cfg.pools {

@@ -44,7 +44,7 @@ mod state;
 mod trainer;
 
 pub use checkpoint::{latest_valid, Checkpoint, CheckpointError};
-pub use config::{CheckpointConfig, ConvPolicy, HealthPolicy, TrainConfig};
+pub use config::{CheckpointConfig, ConvPolicy, HealthPolicy, PlanPolicy, TrainConfig};
 pub use data::{BlobsDataset, Dataset, RandomDataset};
 pub use dense::{BlockEvent, Cancelled, DenseConfig, DenseError, DenseNet};
 pub use engine::{RoundError, RoundStats, Znn};

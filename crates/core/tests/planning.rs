@@ -1,0 +1,161 @@
+//! Planner ↔ engine integration: plan-driven runs must agree bitwise
+//! with the legacy `ConvPolicy` paths they subsume, `Auto` must stay
+//! competitive with every fixed strategy, and calibration must feed
+//! back into the live engine.
+
+use std::sync::Arc;
+use std::time::Instant;
+use znn_core::{ConvPolicy, PlanPolicy, TrainConfig, Znn};
+use znn_graph::builder::scalability_net_3d;
+use znn_graph::{Graph, NetBuilder};
+use znn_ops::{ConvMethod, Transfer};
+use znn_plan::{Machine, NetPlan, PlanConfig, Planner};
+use znn_tensor::{ops, Vec3};
+
+fn small_graph() -> (Graph, Vec3) {
+    let (g, _) = NetBuilder::new("plan-it", 1)
+        .conv(3, Vec3::cube(3))
+        .transfer(Transfer::Tanh)
+        .conv(2, Vec3::cube(2))
+        .transfer(Transfer::Logistic)
+        .conv(1, Vec3::cube(2))
+        .transfer(Transfer::Linear)
+        .build()
+        .unwrap();
+    (g, Vec3::cube(4))
+}
+
+fn cfg(workers: usize, plan: Option<PlanPolicy>, conv: ConvPolicy) -> TrainConfig {
+    TrainConfig {
+        workers,
+        conv,
+        plan,
+        memoize_fft: true,
+        learning_rate: 0.02,
+        ..TrainConfig::test_default(workers)
+    }
+}
+
+/// Runs `rounds` training steps and returns the losses.
+fn losses(graph: &Graph, out: Vec3, config: TrainConfig, rounds: usize) -> Vec<f64> {
+    let znn = Znn::new(graph.clone(), out, config).unwrap();
+    let x = ops::random(znn.input_shape(), 91);
+    let t = ops::random(out, 92).map(|v| 0.3 * v);
+    (0..rounds)
+        .map(|_| znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t)))
+        .collect()
+}
+
+#[test]
+fn fixed_direct_plan_matches_force_direct_bitwise() {
+    // one worker: scheduling (and thus float accumulation order) is
+    // deterministic, so the comparison is exact, not approximate
+    let (g, out) = small_graph();
+    let plan = Arc::new(NetPlan::force(&g, out, ConvMethod::Direct, 1, false).unwrap());
+    let a = losses(&g, out, cfg(1, Some(PlanPolicy::Fixed(plan)), ConvPolicy::Autotune), 4);
+    let b = losses(&g, out, cfg(1, None, ConvPolicy::ForceDirect), 4);
+    assert_eq!(a, b, "a fixed all-direct plan must replay ForceDirect exactly");
+}
+
+#[test]
+fn fixed_fft_plan_matches_force_fft_bitwise() {
+    // force(pow2 = false) pads with good_shape — the same pads the
+    // legacy ForceFft path uses — so the runs must agree to the bit
+    let (g, out) = small_graph();
+    let plan = Arc::new(NetPlan::force(&g, out, ConvMethod::Fft, 1, false).unwrap());
+    let a = losses(&g, out, cfg(1, Some(PlanPolicy::Fixed(plan)), ConvPolicy::Autotune), 4);
+    let b = losses(&g, out, cfg(1, None, ConvPolicy::ForceFft), 4);
+    assert_eq!(a, b, "a fixed all-FFT plan must replay ForceFft exactly");
+}
+
+#[test]
+fn auto_matches_its_own_frozen_plan_bitwise() {
+    // Auto's only live degree of freedom is the fan-out, which is
+    // pinned bit-identical — so Auto must reproduce the run of its own
+    // plan executed as Fixed
+    let (g, out) = small_graph();
+    let planner = Arc::new(Planner::new(PlanConfig::for_machine(Machine::xeon_e5_8core())));
+    let frozen = Arc::new(planner.plan(&g, out, 1, 1).unwrap());
+    let a = losses(&g, out, cfg(1, Some(PlanPolicy::Auto(Arc::clone(&planner))), ConvPolicy::Autotune), 6);
+    let b = losses(&g, out, cfg(1, Some(PlanPolicy::Fixed(frozen)), ConvPolicy::Autotune), 6);
+    assert_eq!(a, b, "live calibration must never change a computed bit");
+    // and the calibrator really saw the rounds
+    assert_eq!(planner.calibration().rounds.len(), 6);
+}
+
+#[test]
+fn engine_exposes_plan_and_applies_fan_out() {
+    let (g, _) = scalability_net_3d(2);
+    let out = Vec3::cube(4);
+    let planner = Arc::new(Planner::new(PlanConfig::for_machine(Machine::xeon_e5_18core())));
+    let config = cfg(2, Some(PlanPolicy::Auto(Arc::clone(&planner))), ConvPolicy::Autotune);
+    let znn = Znn::new(g, out, config).unwrap();
+    let plan = znn.net_plan().expect("Auto must resolve a plan").clone();
+    assert_eq!(znn.fft_threads(), plan.fft_threads.min(2));
+    let x = ops::random(znn.input_shape(), 7);
+    let t = ops::random(out, 8).map(|v| 0.3 * v);
+    znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
+    let stats = znn.stats();
+    assert!(stats.round_us > 0, "round wall time must be recorded");
+    // fan-out stays within the construction-time budget forever
+    assert!(znn.fft_threads() <= 2);
+}
+
+#[test]
+fn legacy_path_is_untouched_without_a_plan() {
+    let (g, out) = small_graph();
+    let znn = Znn::new(g, out, cfg(2, None, ConvPolicy::Autotune)).unwrap();
+    assert!(znn.net_plan().is_none());
+}
+
+#[test]
+fn auto_is_competitive_with_every_fixed_strategy() {
+    // the ISSUE's ≤15% gap bound is asserted with real timings in the
+    // release-mode plan_report bench; here (debug, possibly one core)
+    // we keep the same relative bound but add absolute slack so
+    // scheduler noise on tiny rounds cannot flake the suite
+    let (g, _) = scalability_net_3d(2);
+    let out = Vec3::cube(6);
+    let workers = 2;
+    let x = ops::random(
+        znn_graph::shapes::required_input_shape(&g, out).unwrap(),
+        55,
+    );
+    let t = ops::random(out, 56).map(|v| 0.3 * v);
+    let median_us = |config: TrainConfig| -> f64 {
+        let znn = Znn::new(g.clone(), out, config).unwrap();
+        // warmup round (memoization, pool fills), then median of 5
+        znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                znn.train_step(std::slice::from_ref(&x), std::slice::from_ref(&t));
+                t0.elapsed().as_micros() as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        samples[2]
+    };
+
+    let planner = Arc::new(Planner::new(PlanConfig::host()));
+    let auto = median_us(cfg(
+        workers,
+        Some(PlanPolicy::Auto(planner)),
+        ConvPolicy::Autotune,
+    ));
+    let best_fixed = [
+        (ConvMethod::Direct, 1),
+        (ConvMethod::Fft, 1),
+        (ConvMethod::Fft, workers),
+    ]
+    .into_iter()
+    .map(|(m, fan)| {
+        let plan = Arc::new(NetPlan::force(&g, out, m, fan, false).unwrap());
+        median_us(cfg(workers, Some(PlanPolicy::Fixed(plan)), ConvPolicy::Autotune))
+    })
+    .fold(f64::INFINITY, f64::min);
+    assert!(
+        auto <= best_fixed * 1.15 + 25_000.0,
+        "Auto {auto:.0}µs vs best fixed {best_fixed:.0}µs"
+    );
+}

@@ -4,6 +4,7 @@ use parking_lot::Mutex;
 use rustfft::{Fft, FftPlanner};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use znn_alloc::PoolSet;
 use znn_tensor::lines::{Axis, LineSpec};
@@ -239,8 +240,11 @@ pub struct FftEngine {
     /// Memoized unpack/repack twiddles `e^{∓2πik/n}`, `k ∈ 0..⌊n/2⌋+1`,
     /// for the r2c/c2r packed stages, keyed by `(n, direction)`.
     rtwiddles: Mutex<TwiddleMap>,
-    /// Worker cap for batched line transforms (≥ 1).
-    threads: usize,
+    /// Worker cap for batched line transforms (≥ 1). Atomic so a
+    /// planner can re-tune the fan-out of a live engine
+    /// ([`FftEngine::set_threads`]); every value computes bit-identical
+    /// transforms, so a concurrent change is always safe.
+    threads: AtomicUsize,
     /// The pool line chunks are queued on; `None` targets the
     /// process-global pool.
     pool: Option<Arc<rayon::ThreadPool>>,
@@ -289,7 +293,7 @@ impl FftEngine {
             planner: Mutex::new(FftPlanner::new()),
             plans: Mutex::new(HashMap::new()),
             rtwiddles: Mutex::new(HashMap::new()),
-            threads,
+            threads: AtomicUsize::new(threads),
             pool: None,
             spawn_per_call: false,
             recursive_kernels: false,
@@ -413,17 +417,34 @@ impl FftEngine {
 
     /// The worker cap for batched line transforms.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.threads.load(Ordering::Relaxed)
+    }
+
+    /// Re-tunes the worker cap of a live engine (clamped to ≥ 1).
+    ///
+    /// Safe at any time, including while transforms are in flight:
+    /// the fan-out only partitions line batches, and every partition
+    /// computes bit-identical results (each line is transformed by
+    /// the same serial kernel regardless of which chunk owns it).
+    /// Scratch is slotted per concurrent borrower with a graceful
+    /// fallback, so raising the cap above the construction-time value
+    /// costs at most a fresh scratch allocation per extra chunk.
+    ///
+    /// This is the knob the `znn-plan` calibrator turns when measured
+    /// round times drift from the model's predictions.
+    pub fn set_threads(&self, threads: usize) {
+        self.threads.store(threads.max(1), Ordering::Relaxed);
     }
 
     /// Workers to split a batch of `lines` lines of `line_len` complex
     /// elements across: 1 for small batches (fork overhead dominates),
     /// never more than the line count.
     fn workers_for(&self, lines: usize, line_len: usize) -> usize {
-        if self.threads <= 1 || lines * line_len < self.par_min_elems {
+        let threads = self.threads.load(Ordering::Relaxed);
+        if threads <= 1 || lines * line_len < self.par_min_elems {
             1
         } else {
-            self.threads.min(lines)
+            threads.min(lines)
         }
     }
 
@@ -1232,6 +1253,21 @@ mod tests {
         let a = engine.inverse_real(spec, at, shape);
         let b = engine.inverse_real_c2c(c2c, at, shape);
         assert!(a.max_abs_diff(&b) < 1e-5);
+    }
+
+    #[test]
+    fn set_threads_retunes_live_engine_bitwise_safely() {
+        // a planner re-tuning the fan-out mid-run must never change a
+        // computed bit — transform at 1, re-tune to 4, transform again
+        let engine = FftEngine::with_threads(1);
+        let img = ops::random(Vec3::cube(24), 9);
+        let before = engine.rfft3(&img);
+        engine.set_threads(4);
+        assert_eq!(engine.threads(), 4);
+        let after = engine.rfft3(&img);
+        assert!(max_cdiff(before.half(), after.half()) == 0.0);
+        engine.set_threads(0); // clamps to 1
+        assert_eq!(engine.threads(), 1);
     }
 
     #[test]

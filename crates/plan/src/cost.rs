@@ -1,0 +1,200 @@
+//! The planner's per-edge cost model: the paper's FLOP counts
+//! (Tables I–II), made pad- and radix-aware.
+//!
+//! `crates/sim` prices tasks with the generic `C·N·log₂N` transform
+//! cost at the *unpadded* image size. The planner refines that in two
+//! ways so it can rank concrete execution strategies:
+//!
+//! * transforms are priced at the **padded** shape the engine would
+//!   actually plan (`good_shape` vs `pow2_shape`), and
+//! * each 1D line length is decomposed into its 2^a·3^b·5^c radix
+//!   stages, weighted per radix — radix-4 passes are cheaper per
+//!   log₂ unit than radix-3/5 passes, which is exactly why 5-smooth
+//!   padding usually beats power-of-two padding despite more voxels.
+//!
+//! Shared work is amortized the same way the engine shares it (and the
+//! same way [`znn_sim::costs`] models it): a node's image transform is
+//! split across its out-edges, the inverse of a node sum across its
+//! in-edges.
+
+use znn_tensor::Vec3;
+use znn_theory::DEFAULT_C;
+
+/// Relative cost per log₂ unit of a radix-4 stage (the workhorse of
+/// the iterative Stockham path; two log₂ units per stage).
+const W_RADIX4: f64 = 0.85;
+/// Relative cost per log₂ unit of a radix-2 stage.
+const W_RADIX2: f64 = 1.0;
+/// Relative cost per log₂ unit of a radix-3 stage (log₂3 ≈ 1.585
+/// units per stage).
+const W_RADIX3: f64 = 1.1;
+/// Relative cost per log₂ unit of a radix-5 stage (log₂5 ≈ 2.322
+/// units per stage).
+const W_RADIX5: f64 = 1.25;
+
+/// Weighted stage cost of a 5-smooth line length, in equivalent
+/// radix-2 log₂ units. `stage_units(l) / log2(l)` is the mix factor
+/// relative to the textbook `N·log₂N`; a pure power of two running
+/// radix-4 stages comes out *below* 1.0.
+pub fn stage_units(len: usize) -> f64 {
+    if len <= 1 {
+        return 0.0;
+    }
+    let mut l = len;
+    let mut units = 0.0;
+    while l.is_multiple_of(4) {
+        units += 2.0 * W_RADIX4;
+        l /= 4;
+    }
+    while l.is_multiple_of(2) {
+        units += W_RADIX2;
+        l /= 2;
+    }
+    while l.is_multiple_of(3) {
+        units += W_RADIX3 * 3f64.log2();
+        l /= 3;
+    }
+    while l.is_multiple_of(5) {
+        units += W_RADIX5 * 5f64.log2();
+        l /= 5;
+    }
+    if l > 1 {
+        // non-smooth residue: priced as a generic O(n²)-ish straggler,
+        // heavily penalized so the planner never *prefers* it (the
+        // engine's pad candidates are always smooth, so this only
+        // triggers for hand-built plans)
+        units += 4.0 * (l as f64).log2();
+    }
+    units
+}
+
+/// FLOPs of one 3D r2c (or c2r) transform at padded shape `m`: the
+/// theory model's `C·N·log₂N` per axis, radix-weighted, halved for the
+/// half-spectrum (the r2c packed stage does each real axis pass at
+/// half length, and the two complex axes sweep half the bins).
+pub fn fft3_flops(m: Vec3) -> f64 {
+    let n = m.len() as f64;
+    if m.len() <= 1 {
+        return 0.0;
+    }
+    let units: f64 = m.0.iter().map(|&l| stage_units(l)).sum();
+    0.5 * DEFAULT_C * n * units
+}
+
+/// FLOPs of one pointwise pass over the half-spectrum of pad `m`
+/// (complex multiply ≈ 6 real FLOPs per bin, ≈ `m.len()/2` bins —
+/// folded to `3·|m|` and priced at [`PW_EFF`] because these sweeps are
+/// bandwidth-bound, not FLOP-bound).
+pub fn pointwise_flops(m: Vec3) -> f64 {
+    3.0 * m.len() as f64
+}
+
+/// Effective FLOP efficiency of pointwise/bandwidth-bound sweeps
+/// relative to the machine's dense-kernel throughput.
+pub const PW_EFF: f64 = 0.25;
+
+/// Total FLOPs of one training round of a direct-convolution edge
+/// (forward valid conv + backward full conv + kernel update; 2 FLOPs
+/// per multiply-accumulate, Table I). Skip kernels touch the same
+/// number of taps, so sparsity does not change the count.
+pub fn direct_round_flops(n: Vec3, k: Vec3, sparsity: Vec3) -> f64 {
+    let kd = k.dilated(sparsity);
+    let out = match n.valid_conv(kd) {
+        Some(o) => o.len() as f64,
+        None => return f64::INFINITY,
+    };
+    let taps = k.len() as f64;
+    // forward: |out|·|k| MACs; backward: full conv back to |n|;
+    // update: |out|·|k| MACs again
+    2.0 * taps * (out + n.len() as f64 + out)
+}
+
+/// Per-round FLOPs of an FFT-convolution edge at pad `m`, split into
+/// `(transform_flops, pointwise_flops)` so the caller can apply the
+/// `fft_threads` fan-out speedup to the transform part only.
+///
+/// Transform sharing follows the engine (and [`znn_sim::costs`]): the
+/// image FFT is amortized over the from-node's `d_out` edges, the
+/// inverse of the node sum over the to-node's `d_in` contributions.
+/// With memoization (Table II) the backward pass derives the flipped
+/// kernel spectrum pointwise and the update reuses the forward
+/// transforms; without it the kernel is retransformed and the update
+/// pays two extra forward FFTs.
+pub fn fft_round_split(m: Vec3, d_out: usize, d_in: usize, memoize: bool) -> (f64, f64) {
+    let t3 = fft3_flops(m);
+    let d_out = d_out.max(1) as f64;
+    let d_in = d_in.max(1) as f64;
+    // forward: shared image FFT + kernel FFT + shared inverse;
+    // backward: shared gradient FFT + shared inverse;
+    // update: one inverse for the kernel gradient
+    let mut transforms = t3 / d_out + t3 + t3 / d_in // forward
+        + t3 / d_in + t3 / d_out                      // backward
+        + t3; // update inverse
+    if !memoize {
+        transforms += 3.0 * t3; // kernel retransform + two update FFTs
+    }
+    // pointwise products in all three passes, plus the frequency-domain
+    // sum and the spectrum flip
+    let pw = 5.0 * pointwise_flops(m);
+    (transforms, pw)
+}
+
+/// Per-round FLOPs of a non-convolution edge (transfer, max-pool,
+/// max-filter), all passes, priced like [`znn_sim::costs`]. These are
+/// bandwidth-bound sweeps; price them at [`PW_EFF`].
+pub fn other_round_flops(nu: f64, nv: f64, window: Option<Vec3>) -> f64 {
+    match window {
+        // max-filter/pool: forward scan + backward scatter
+        Some(w) => 6.0 * nu * (w.len() as f64).log2().max(1.0) + nv + (nv + nu),
+        // transfer: forward + backward + bias update
+        None => 2.0 * nv + 2.0 * nv + (nv + 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_pads_beat_pow2_pads() {
+        // 24 = 2³·3 stays 24 under good_shape but inflates to 32 under
+        // pow2; the radix-aware model must prefer the smooth pad
+        assert!(fft3_flops(Vec3::cube(24)) < fft3_flops(Vec3::cube(32)));
+        assert!(fft3_flops(Vec3::flat(48, 60)) < fft3_flops(Vec3::flat(64, 64)));
+    }
+
+    #[test]
+    fn pure_pow2_mix_is_below_textbook(){
+        // radix-4 stages price a 64-point line below C·N·log₂N
+        let l = 64usize;
+        assert!(stage_units(l) < (l as f64).log2());
+    }
+
+    #[test]
+    fn direct_cost_grows_with_kernel_fft_does_not() {
+        let n = Vec3::cube(24);
+        let d3 = direct_round_flops(n, Vec3::cube(3), Vec3::one());
+        let d7 = direct_round_flops(n, Vec3::cube(7), Vec3::one());
+        assert!(d7 > 5.0 * d3);
+        let (t3, p3) = fft_round_split(n, 1, 1, true);
+        assert!(t3 > 0.0 && p3 > 0.0);
+        // the paper's crossover: at 3³ direct wins, at 7³ FFT wins
+        assert!(d3 < t3 + p3 / PW_EFF);
+        assert!(d7 > t3 + p3 / PW_EFF);
+    }
+
+    #[test]
+    fn memoization_only_cheapens() {
+        let m = Vec3::cube(32);
+        let (plain, _) = fft_round_split(m, 2, 3, false);
+        let (memo, _) = fft_round_split(m, 2, 3, true);
+        assert!(memo < plain);
+    }
+
+    #[test]
+    fn degenerate_shapes_are_finite() {
+        assert_eq!(fft3_flops(Vec3::one()), 0.0);
+        assert_eq!(stage_units(1), 0.0);
+        assert!(direct_round_flops(Vec3::cube(4), Vec3::cube(8), Vec3::one()).is_infinite());
+    }
+}

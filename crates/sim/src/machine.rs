@@ -20,6 +20,15 @@ pub struct Machine {
     pub ghz: f64,
     /// Total core throughput at 1..=ways threads.
     pub smt_throughput: Vec<f64>,
+    /// Sustained single-thread f32 throughput in GFLOP/s — the
+    /// absolute price of one FLOP for planners that turn FLOP counts
+    /// into wall time. Nominal for the Table V machines, measured by a
+    /// microprobe for [`Machine::detect`]; either way it is only a
+    /// *prior* the planner calibrates online.
+    pub gflops: f64,
+    /// Sustained single-thread memory bandwidth in GB/s (prices
+    /// bandwidth-bound sweeps; same prior status as `gflops`).
+    pub bandwidth_gbs: f64,
 }
 
 impl Machine {
@@ -31,6 +40,8 @@ impl Machine {
             hw_threads: 16,
             ghz: 2.9,
             smt_throughput: vec![1.0, 1.3],
+            gflops: 23.2,
+            bandwidth_gbs: 55.0,
         }
     }
 
@@ -42,6 +53,8 @@ impl Machine {
             hw_threads: 36,
             ghz: 2.9,
             smt_throughput: vec![1.0, 1.3],
+            gflops: 23.2,
+            bandwidth_gbs: 55.0,
         }
     }
 
@@ -53,6 +66,8 @@ impl Machine {
             hw_threads: 80,
             ghz: 2.0,
             smt_throughput: vec![1.0, 1.3],
+            gflops: 8.0,
+            bandwidth_gbs: 30.0,
         }
     }
 
@@ -66,6 +81,36 @@ impl Machine {
             hw_threads: 240,
             ghz: 1.053,
             smt_throughput: vec![1.0, 1.7, 1.85, 1.95],
+            gflops: 8.4,
+            bandwidth_gbs: 40.0,
+        }
+    }
+
+    /// A machine model of the **current host**: core count from the
+    /// OS, single-thread FLOP and bandwidth rates from one-shot
+    /// microprobes (a dependent-FMA sweep and a large `memcpy`,
+    /// ~10 ms each). The probes are deliberately rough — the model is
+    /// a planner *prior*, refined online from measured round times —
+    /// but they anchor absolute predictions to the right order of
+    /// magnitude on unknown hardware, where a hardcoded Table V model
+    /// could be off by 10×.
+    ///
+    /// SMT topology is not probed: the model treats every hardware
+    /// thread as a core with a flat throughput curve, which makes
+    /// `total_throughput` linear in the worker count — the safe
+    /// default when the OS only reports `available_parallelism`.
+    pub fn detect() -> Machine {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Machine {
+            name: "host (detected)",
+            cores: hw,
+            hw_threads: hw,
+            ghz: 0.0, // unknown; absolute speed lives in `gflops`
+            smt_throughput: vec![1.0],
+            gflops: flop_probe(),
+            bandwidth_gbs: bandwidth_probe(),
         }
     }
 
@@ -108,6 +153,45 @@ impl Machine {
         let workers = workers.min(self.hw_threads);
         self.total_throughput(workers) / workers as f64
     }
+}
+
+/// Measured single-thread f32 throughput, GFLOP/s: 16 independent
+/// FMA chains (enough to cover FMA latency on anything current), a
+/// few million iterations, `black_box` so the loop survives.
+fn flop_probe() -> f64 {
+    use std::time::Instant;
+    let mut acc = [1.0f32; 16];
+    let mul = [0.999_999f32; 16];
+    let iters: u32 = 4_000_000;
+    let start = Instant::now();
+    for i in 0..iters {
+        let x = (i & 1023) as f32 * 1e-9;
+        for (a, m) in acc.iter_mut().zip(mul) {
+            *a = a.mul_add(m, x);
+        }
+    }
+    let dt = start.elapsed().as_secs_f64().max(1e-9);
+    std::hint::black_box(acc);
+    let flops = iters as f64 * 16.0 * 2.0; // mul + add per lane
+    (flops / dt / 1e9).max(0.1)
+}
+
+/// Measured single-thread copy bandwidth, GB/s (read + write bytes),
+/// over buffers far larger than L2.
+fn bandwidth_probe() -> f64 {
+    use std::time::Instant;
+    const WORDS: usize = 4 << 20; // 16 MiB per buffer
+    let src = vec![1u32; WORDS];
+    let mut dst = vec![0u32; WORDS];
+    let reps = 4;
+    let start = Instant::now();
+    for _ in 0..reps {
+        dst.copy_from_slice(&src);
+        std::hint::black_box(&mut dst);
+    }
+    let dt = start.elapsed().as_secs_f64().max(1e-9);
+    let bytes = (reps * 2 * WORDS * std::mem::size_of::<u32>()) as f64;
+    (bytes / dt / 1e9).max(0.1)
 }
 
 #[cfg(test)]
@@ -161,6 +245,30 @@ mod tests {
     fn oversubscription_is_capped() {
         let m = Machine::xeon_e5_8core();
         assert_eq!(m.total_throughput(1000), m.total_throughput(16));
+    }
+
+    #[test]
+    fn detect_reports_sane_host_numbers() {
+        let m = Machine::detect();
+        assert!(m.cores >= 1);
+        assert_eq!(m.cores, m.hw_threads);
+        // microprobes can be slow under emulation/contention but must
+        // land at a physically plausible order of magnitude
+        assert!(m.gflops > 0.05 && m.gflops < 1000.0, "gflops {}", m.gflops);
+        assert!(
+            m.bandwidth_gbs > 0.05 && m.bandwidth_gbs < 2000.0,
+            "bandwidth {}",
+            m.bandwidth_gbs
+        );
+        // flat SMT curve → throughput linear in workers
+        assert!((m.total_throughput(m.cores) - m.cores as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_v_priors_have_absolute_rates() {
+        for m in Machine::table_v() {
+            assert!(m.gflops > 0.0 && m.bandwidth_gbs > 0.0, "{}", m.name);
+        }
     }
 
     #[test]

@@ -1,18 +1,22 @@
-//! Watch the §IV autotuner choose between direct and FFT convolution
-//! per layer geometry, and verify both paths give the same numbers.
+//! Watch the cost-model planner (`znn-plan`) choose direct vs FFT
+//! convolution, pad shapes, and the FFT fan-out per conv edge — then
+//! verify the planned engine agrees numerically with both forced
+//! paths and with the legacy measurement-based autotuner.
 //!
 //! ```sh
 //! cargo run --release --example autotune
 //! ```
 
-use znn::core::{ConvPolicy, TrainConfig, Znn};
-use znn::graph::{EdgeId, NetBuilder};
+use std::sync::Arc;
+use znn::core::{ConvPolicy, PlanPolicy, TrainConfig, Znn};
+use znn::graph::NetBuilder;
 use znn::ops::Transfer;
+use znn::plan::{PlanConfig, Planner};
 use znn::tensor::{ops, Vec3};
 
 fn main() {
     // small kernels early (direct should win), large kernels late (FFT
-    // should win) — a geometry mix that makes the autotuner earn its keep
+    // should win) — a geometry mix that makes the planner earn its keep
     let (graph, _) = NetBuilder::new("tuned", 1)
         .conv(4, Vec3::cube(2))
         .transfer(Transfer::Relu)
@@ -23,34 +27,56 @@ fn main() {
         .unwrap();
 
     let out_shape = Vec3::cube(3);
-    let tuned = Znn::new(
+    // `--plan auto` in the CLI: price the theory FLOP model through a
+    // detected machine model instead of timing each layer
+    let planner = Arc::new(Planner::new(PlanConfig::host()));
+    println!(
+        "machine prior: {} ({} cores, {:.1} GFLOP/s, {:.1} GB/s)",
+        planner.config().machine.name,
+        planner.config().machine.cores,
+        planner.config().machine.gflops,
+        planner.config().machine.bandwidth_gbs,
+    );
+    let planned = Znn::new(
         graph.clone(),
         out_shape,
         TrainConfig {
-            conv: ConvPolicy::Autotune,
+            plan: Some(PlanPolicy::Auto(Arc::clone(&planner))),
             ..Default::default()
         },
     )
     .unwrap();
 
-    println!("autotuner decisions (per conv edge):");
-    let mut by_kernel: Vec<(Vec3, znn::ops::ConvMethod)> = Vec::new();
+    let plan = planned.net_plan().expect("Auto always resolves a plan");
+    println!(
+        "plan: fft_threads = {}, predicted round = {:.0}µs",
+        plan.fft_threads, plan.predicted_round_us
+    );
+    println!("per conv geometry:");
+    let mut seen: Vec<Vec3> = Vec::new();
     for (i, e) in graph.edges().iter().enumerate() {
         if let znn::graph::EdgeOp::Conv { kernel, .. } = e.op {
-            let m = tuned.conv_method(EdgeId(i)).unwrap();
-            if !by_kernel.iter().any(|(k, mm)| *k == kernel && *mm == m) {
-                by_kernel.push((kernel, m));
+            if seen.contains(&kernel) {
+                continue;
             }
+            seen.push(kernel);
+            let ep = plan.edges[i].unwrap();
+            println!(
+                "  kernel {kernel}: {:?} (pad {}, {:.1}µs predicted)",
+                ep.method, ep.pad, ep.predicted_us
+            );
         }
     }
-    for (k, m) in &by_kernel {
-        println!("  kernel {k}: {m:?}");
-    }
 
-    // both forced paths agree with the tuned engine
-    let x = ops::random(tuned.input_shape(), 5);
-    let y_tuned = tuned.forward(std::slice::from_ref(&x)).remove(0);
-    for policy in [ConvPolicy::ForceDirect, ConvPolicy::ForceFft] {
+    // the planned engine, both forced paths, and the legacy
+    // measurement-based autotuner all agree numerically
+    let x = ops::random(planned.input_shape(), 5);
+    let y_planned = planned.forward(std::slice::from_ref(&x)).remove(0);
+    for policy in [
+        ConvPolicy::Autotune,
+        ConvPolicy::ForceDirect,
+        ConvPolicy::ForceFft,
+    ] {
         let forced = Znn::new(
             graph.clone(),
             out_shape,
@@ -61,8 +87,8 @@ fn main() {
         )
         .unwrap();
         let y = forced.forward(std::slice::from_ref(&x)).remove(0);
-        let d = y.max_abs_diff(&y_tuned);
-        println!("{policy:?} max deviation from tuned output: {d:.2e}");
+        let d = y.max_abs_diff(&y_planned);
+        println!("{policy:?} max deviation from planned output: {d:.2e}");
         assert!(d < 1e-3);
     }
     println!("all convolution paths agree.");

@@ -21,6 +21,8 @@
 //!   speedup bounds (`znn-theory`, §V-A),
 //! * [`sim`] — the discrete-event machine simulator used for the
 //!   scalability experiments (`znn-sim`, §VIII),
+//! * [`plan`] — the cost-model-driven execution planner with online
+//!   calibration (`znn-plan`, §IV closed-loop),
 //! * [`baseline`] — the layer-at-a-time data-parallel comparator
 //!   (`znn-baseline`, §IX).
 //!
@@ -32,6 +34,7 @@ pub use znn_core as core;
 pub use znn_fft as fft;
 pub use znn_graph as graph;
 pub use znn_ops as ops;
+pub use znn_plan as plan;
 pub use znn_sched as sched;
 pub use znn_serve as serve;
 pub use znn_sim as sim;
